@@ -1,0 +1,73 @@
+// Command beyondbloom regenerates the experiment suite of this
+// repository's tutorial reproduction (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	beyondbloom list                 list experiments
+//	beyondbloom exp E7               run one experiment
+//	beyondbloom exp all              run every experiment
+//	beyondbloom exp E7 -scale 0.2    run at reduced workload scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"beyondbloom/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+	case "exp":
+		fs := flag.NewFlagSet("exp", flag.ExitOnError)
+		scale := fs.Float64("scale", 1.0, "workload scale factor")
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		id := os.Args[2]
+		fs.Parse(os.Args[3:])
+		cfg := experiments.Config{Scale: *scale}
+		if id == "all" {
+			for _, e := range experiments.All() {
+				run(e, cfg)
+			}
+			return
+		}
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try `beyondbloom list`)\n", id)
+			os.Exit(1)
+		}
+		run(e, cfg)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func run(e experiments.Experiment, cfg experiments.Config) {
+	fmt.Printf("### %s — %s\n", e.ID, e.Title)
+	start := time.Now()
+	for _, t := range e.Run(cfg) {
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  beyondbloom list
+  beyondbloom exp <id|all> [-scale f]`)
+}

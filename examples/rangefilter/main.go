@@ -1,0 +1,92 @@
+// rangefilter: the §2.5 comparison on one synthetic table. Builds five
+// range filters over the same keys and probes empty BETWEEN queries of
+// growing length plus an adversarially correlated workload, printing
+// each filter's false-positive rate and space — Rosetta degrading with
+// range length and Grafite's robustness under correlation are the
+// tutorial's headline shapes.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/grafite"
+	"beyondbloom/internal/proteus"
+	"beyondbloom/internal/rosetta"
+	"beyondbloom/internal/snarf"
+	"beyondbloom/internal/surf"
+	"beyondbloom/internal/workload"
+)
+
+func main() {
+	const n = 50000
+	keys := workload.Keys(n, 11)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	anyIn := func(lo, hi uint64) bool {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+		return i < len(sorted) && sorted[i] <= hi
+	}
+
+	ros := rosetta.New(n, 20, 16)
+	for _, k := range keys {
+		ros.Insert(k)
+	}
+	sample := workload.UniformRanges(500, 256, ^uint64(0)-512, 12)
+	filters := []struct {
+		name string
+		f    core.RangeFilter
+	}{
+		{"surf-real8", surf.New(keys, surf.SuffixReal, 8)},
+		{"rosetta   ", ros},
+		{"grafite   ", grafite.New(keys, 16, 1.0/256)},
+		{"snarf     ", snarf.New(keys, 16)},
+		{"proteus   ", proteus.New(keys, sample, 18)},
+	}
+
+	emptyRanges := func(length uint64, m int, seed int64) [][2]uint64 {
+		qs := workload.UniformRanges(2*m, length, ^uint64(0)-2*length-2, seed)
+		var out [][2]uint64
+		for _, q := range qs {
+			if !anyIn(q.Lo, q.Hi) {
+				out = append(out, [2]uint64{q.Lo, q.Hi})
+				if len(out) == m {
+					break
+				}
+			}
+		}
+		return out
+	}
+	fpr := func(f core.RangeFilter, ranges [][2]uint64) float64 {
+		fp := 0
+		for _, r := range ranges {
+			if f.MayContainRange(r[0], r[1]) {
+				fp++
+			}
+		}
+		return float64(fp) / float64(len(ranges))
+	}
+
+	fmt.Println("empty-range FPR by range length (and bits/key):")
+	fmt.Printf("  %-10s %8s %8s %8s %8s %10s\n", "filter", "len=1", "len=64", "len=4096", "len=64k", "bits/key")
+	for _, fl := range filters {
+		fmt.Printf("  %-10s", fl.name)
+		for _, L := range []uint64{1, 64, 4096, 65536} {
+			fmt.Printf(" %8.4f", fpr(fl.f, emptyRanges(L, 2000, int64(L))))
+		}
+		fmt.Printf(" %10.1f\n", float64(fl.f.SizeBits())/float64(n))
+	}
+
+	cors := workload.CorrelatedRanges(keys, 8000, 16, 2, 13)
+	var corEmpty [][2]uint64
+	for _, q := range cors {
+		if !anyIn(q.Lo, q.Hi) {
+			corEmpty = append(corEmpty, [2]uint64{q.Lo, q.Hi})
+		}
+	}
+	fmt.Println("\ncorrelated queries (start 2 past an existing key, len 16):")
+	for _, fl := range filters {
+		fmt.Printf("  %-10s fpr=%.4f\n", fl.name, fpr(fl.f, corEmpty))
+	}
+}

@@ -1,0 +1,63 @@
+// urlblock: the §3.3 case study. A router blocks malicious URLs with a
+// filter; benign URLs that collide pay an expensive verification
+// penalty. The example replays the same traffic against the traditional
+// Bloom blocker, a static no-list, and an adaptive-filter blocker, and
+// reports how the benign false-block penalty evolves over time windows —
+// the adaptive blocker converges to zero as it learns its no-list.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"beyondbloom/internal/workload"
+	"beyondbloom/internal/yesno"
+)
+
+func main() {
+	urls := workload.URLs(60000, 1)
+	malicious := urls[:20000]
+	benign := urls[20000:]
+	hot := benign[:150] // frequently visited benign sites
+	malSet := map[string]bool{}
+	for _, u := range malicious {
+		malSet[u] = true
+	}
+
+	rng := rand.New(rand.NewSource(2))
+	stream := make([]string, 200000)
+	for i := range stream {
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			stream[i] = malicious[rng.Intn(len(malicious))]
+		case r < 0.70:
+			stream[i] = hot[rng.Intn(len(hot))]
+		default:
+			stream[i] = benign[rng.Intn(len(benign))]
+		}
+	}
+
+	blockers := []struct {
+		name string
+		b    yesno.Blocker
+	}{
+		{"plain-bloom  ", yesno.NewPlainBloom(malicious, 8)},
+		{"static-nolist", yesno.NewStaticNoList(malicious, hot, 8)},
+		{"adaptive-qf  ", yesno.NewAdaptive(malicious, 16, 6)},
+	}
+	const windows = 8
+	win := len(stream) / windows
+	fmt.Printf("benign false blocks per window of %d requests:\n", win)
+	for _, bl := range blockers {
+		fmt.Printf("  %s", bl.name)
+		total := 0
+		for w := 0; w < windows; w++ {
+			st := yesno.Run(bl.b, stream[w*win:(w+1)*win], malSet)
+			fmt.Printf(" %5d", st.FalseBlocks)
+			total += st.FalseBlocks
+		}
+		fmt.Printf("  | total %6d  (%d KiB)\n", total, bl.b.SizeBits()/8/1024)
+	}
+	fmt.Println("\nplain keeps paying on the same hot URLs; static protects only the")
+	fmt.Println("known hot set; adaptive converges as it fixes each discovered FP.")
+}

@@ -1,0 +1,3 @@
+module beyondbloom
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package adaptive implements the adaptive filters of §2.3: filters that
+// repair themselves when a false positive is discovered, so that no
+// negative query — even one chosen adversarially and repeated — keeps
+// paying the false-positive cost. Two designs are provided:
+//
+//   - Cuckoo: the adaptive cuckoo filter (Mitzenmacher et al.): each slot
+//     carries a small selector choosing among several fingerprint
+//     functions; fixing a false positive re-fingerprints the colliding
+//     stored item with the next selector.
+//
+//   - QF: a broom-filter-style adaptive quotient filter (Bender et al.;
+//     Wen et al.'s practical AQF): the filter keeps the quotient filter's
+//     fingerprints and, when a false positive is found, extends the
+//     colliding stored fingerprint with adaptivity bits taken from the
+//     stored key's own hash until it no longer matches the querying key.
+//     With ExtendOneBit the extension grows one bit per correction — the
+//     telescoping filter's policy; with ExtendUntilDistinct it grows to
+//     the first separating bit in one shot — the broom filter's.
+//
+// Both designs need access to the stored keys to re-fingerprint or
+// extend: that is the "remote representation" of the broom-filter model
+// (the dictionary on disk that the filter guards). Here the remote is
+// kept inline as a fingerprint-indexed map of original keys; its space
+// is *not* charged to SizeBits, exactly as a filter does not get charged
+// for the database it fronts.
+package adaptive
+
+import (
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Cuckoo is an adaptive cuckoo filter.
+type Cuckoo struct {
+	slots      *bitvec.Packed // fingerprint<<2 | selector; fp 0 = empty
+	stored     [][]uint64     // original key per slot (the remote representation)
+	numBuckets uint64
+	fpBits     uint
+	seed       uint64
+	n          int
+	rngState   uint64
+	adapts     int
+}
+
+const (
+	bucketSize   = 4
+	maxKicks     = 500
+	numSelectors = 4 // 2 selector bits per slot
+)
+
+// NewCuckoo returns an adaptive cuckoo filter for about n keys with
+// fpBits-bit fingerprints.
+func NewCuckoo(n int, fpBits uint) *Cuckoo {
+	if fpBits < 2 || fpBits > 30 {
+		panic("adaptive: fingerprint bits must be in [2,30]")
+	}
+	buckets := uint64(1)
+	for float64(buckets*bucketSize)*0.95 < float64(n) {
+		buckets <<= 1
+	}
+	return &Cuckoo{
+		slots:      bitvec.NewPacked(int(buckets*bucketSize), fpBits+2),
+		stored:     make([][]uint64, buckets*bucketSize/8+1),
+		numBuckets: buckets,
+		fpBits:     fpBits,
+		seed:       0xADA97,
+		rngState:   0x1234567890ABCDEF,
+	}
+}
+
+func (c *Cuckoo) bucketOf(key uint64) uint64 {
+	return (hashutil.MixSeed(key, c.seed) >> 32) & (c.numBuckets - 1)
+}
+
+// fpOf computes key's fingerprint under selector s.
+func (c *Cuckoo) fpOf(key uint64, s uint64) uint64 {
+	return hashutil.Fingerprint(hashutil.MixSeed(key, c.seed^(s+1)*0xF00D), c.fpBits)
+}
+
+func (c *Cuckoo) altIndex(i, fp uint64) uint64 {
+	// The partner bucket must not depend on the (mutable) selector, so it
+	// is derived from the slot-independent base hash... but kicking only
+	// has the fingerprint. ACF sidesteps this by keeping the stored keys;
+	// we do the same: relocation recomputes buckets from the stored key.
+	return (i ^ hashutil.Mix64(fp)) & (c.numBuckets - 1)
+}
+
+func (c *Cuckoo) slotKey(idx int) uint64 {
+	return c.storedGet(idx)
+}
+
+// stored keys live in a flat array parallel to slots.
+func (c *Cuckoo) storedGet(idx int) uint64 {
+	blk, off := idx/8, idx%8
+	if c.stored[blk] == nil {
+		return 0
+	}
+	return c.stored[blk][off]
+}
+
+func (c *Cuckoo) storedSet(idx int, key uint64) {
+	blk, off := idx/8, idx%8
+	if c.stored[blk] == nil {
+		c.stored[blk] = make([]uint64, 8)
+	}
+	c.stored[blk][off] = key
+}
+
+func (c *Cuckoo) getSlot(bucket uint64, s int) (fp, sel uint64) {
+	v := c.slots.Get(int(bucket)*bucketSize + s)
+	return v >> 2, v & 3
+}
+
+func (c *Cuckoo) setSlot(bucket uint64, s int, fp, sel uint64) {
+	c.slots.Set(int(bucket)*bucketSize+s, fp<<2|sel)
+}
+
+func (c *Cuckoo) nextRand() uint64 {
+	x := c.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rngState = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// bucketsFor returns the two candidate buckets of a key.
+func (c *Cuckoo) bucketsFor(key uint64) (uint64, uint64) {
+	i1 := c.bucketOf(key)
+	// The pair is derived from the selector-0 fingerprint so it is stable
+	// across selector swaps.
+	fp0 := c.fpOf(key, 0)
+	return i1, c.altIndex(i1, fp0)
+}
+
+func (c *Cuckoo) tryInsertAt(bucket uint64, key uint64) bool {
+	for s := 0; s < bucketSize; s++ {
+		if fp, _ := c.getSlot(bucket, s); fp == 0 {
+			c.setSlot(bucket, s, c.fpOf(key, 0), 0)
+			c.storedSet(int(bucket)*bucketSize+s, key)
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key.
+func (c *Cuckoo) Insert(key uint64) error {
+	i1, i2 := c.bucketsFor(key)
+	if c.tryInsertAt(i1, key) || c.tryInsertAt(i2, key) {
+		c.n++
+		return nil
+	}
+	cur := i1
+	if c.nextRand()&1 == 0 {
+		cur = i2
+	}
+	curKey := key
+	for k := 0; k < maxKicks; k++ {
+		s := int(c.nextRand() % bucketSize)
+		victim := c.slotKey(int(cur)*bucketSize + s)
+		c.setSlot(cur, s, c.fpOf(curKey, 0), 0)
+		c.storedSet(int(cur)*bucketSize+s, curKey)
+		curKey = victim
+		b1, b2 := c.bucketsFor(curKey)
+		next := b1
+		if next == cur {
+			next = b2
+		}
+		cur = next
+		if c.tryInsertAt(cur, curKey) {
+			c.n++
+			return nil
+		}
+	}
+	return core.ErrFull
+}
+
+// Contains reports whether key may be present, honoring per-slot
+// selectors.
+func (c *Cuckoo) Contains(key uint64) bool {
+	i1, i2 := c.bucketsFor(key)
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < bucketSize; s++ {
+			fp, sel := c.getSlot(b, s)
+			if fp == 0 {
+				continue
+			}
+			if fp == c.fpOf(key, sel) {
+				return true
+			}
+		}
+		if i1 == i2 {
+			break
+		}
+	}
+	return false
+}
+
+// Adapt fixes a false positive for key: every slot currently matching
+// key's fingerprint is re-fingerprinted from its stored key with the
+// next selector, after which Contains(key) is false (unless the stored
+// key still collides under the new selector, probability 2^-fpBits per
+// slot).
+func (c *Cuckoo) Adapt(key uint64) {
+	i1, i2 := c.bucketsFor(key)
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < bucketSize; s++ {
+			fp, sel := c.getSlot(b, s)
+			if fp == 0 || fp != c.fpOf(key, sel) {
+				continue
+			}
+			storedKey := c.slotKey(int(b)*bucketSize + s)
+			if storedKey == key {
+				continue // true positive, nothing to fix
+			}
+			newSel := (sel + 1) % numSelectors
+			c.setSlot(b, s, c.fpOf(storedKey, newSel), newSel)
+			c.adapts++
+		}
+		if i1 == i2 {
+			break
+		}
+	}
+}
+
+// Delete removes key if its slot holds exactly this key.
+func (c *Cuckoo) Delete(key uint64) error {
+	i1, i2 := c.bucketsFor(key)
+	for _, b := range [2]uint64{i1, i2} {
+		for s := 0; s < bucketSize; s++ {
+			idx := int(b)*bucketSize + s
+			if fp, _ := c.getSlot(b, s); fp != 0 && c.slotKey(idx) == key {
+				c.setSlot(b, s, 0, 0)
+				c.storedSet(idx, 0)
+				c.n--
+				return nil
+			}
+		}
+		if i1 == i2 {
+			break
+		}
+	}
+	return core.ErrNotFound
+}
+
+// Adaptations returns how many selector swaps have occurred.
+func (c *Cuckoo) Adaptations() int { return c.adapts }
+
+// Len returns the number of stored keys.
+func (c *Cuckoo) Len() int { return c.n }
+
+// SizeBits charges the filter table only (fingerprints + selectors); the
+// stored-key array models the remote dictionary, which the application
+// pays for anyway.
+func (c *Cuckoo) SizeBits() int { return c.slots.SizeBits() }
+
+var _ core.AdaptiveFilter = (*Cuckoo)(nil)

@@ -1,0 +1,173 @@
+// Package arf implements the Adaptive Range Filter (Alexiou, Kossmann &
+// Larson — Hekaton's cold-data filter; §2.5 of the tutorial): a binary
+// trie over the integer key space whose leaves carry one "occupied" bit.
+// A range query reports non-empty iff it touches an occupied leaf.
+//
+// The filter is trained: it starts coarse (few leaves, everything that
+// contains a key marked occupied) and refines itself when told about
+// false positives, splitting the offending leaves — using the underlying
+// key set, which the training host (the database) has anyway — until the
+// query no longer hits an occupied-but-empty region or the node budget is
+// reached. This adaptivity is what lets ARF work well on stable or
+// repeating workloads, and the training cost is exactly the limitation
+// the tutorial notes.
+package arf
+
+import (
+	"sort"
+
+	"beyondbloom/internal/core"
+)
+
+// node is a trie node covering [lo, hi].
+type node struct {
+	lo, hi      uint64
+	left, right *node
+	occupied    bool // meaningful for leaves only
+}
+
+func (nd *node) isLeaf() bool { return nd.left == nil }
+
+// Filter is an adaptive range filter.
+type Filter struct {
+	root     *node
+	keys     []uint64 // sorted key set (the training source / remote)
+	numNodes int
+	budget   int
+	adapts   int
+}
+
+// New builds an ARF over keys with a node budget (space cap: the encoded
+// form costs about 2 bits per node). The initial tree splits down to the
+// budget's depth, marking occupied leaves.
+func New(keys []uint64, budget int) *Filter {
+	if budget < 3 {
+		budget = 3
+	}
+	sorted := make([]uint64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	f := &Filter{
+		root:     &node{lo: 0, hi: ^uint64(0)},
+		keys:     dedupSorted(sorted),
+		numNodes: 1,
+		budget:   budget,
+	}
+	f.root.occupied = f.hasKeyIn(0, ^uint64(0))
+	// Pre-train breadth-first until ~half the budget, leaving room for
+	// query-driven adaptation.
+	queue := []*node{f.root}
+	for len(queue) > 0 && f.numNodes+2 <= budget/2 {
+		nd := queue[0]
+		queue = queue[1:]
+		if !nd.occupied || nd.lo == nd.hi {
+			continue
+		}
+		f.split(nd)
+		queue = append(queue, nd.left, nd.right)
+	}
+	return f
+}
+
+func dedupSorted(keys []uint64) []uint64 {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// hasKeyIn reports whether any training key lies in [lo, hi].
+func (f *Filter) hasKeyIn(lo, hi uint64) bool {
+	i := sort.Search(len(f.keys), func(i int) bool { return f.keys[i] >= lo })
+	return i < len(f.keys) && f.keys[i] <= hi
+}
+
+// split turns a leaf into an internal node with two trained children.
+func (f *Filter) split(nd *node) {
+	mid := nd.lo + (nd.hi-nd.lo)/2
+	nd.left = &node{lo: nd.lo, hi: mid}
+	nd.right = &node{lo: mid + 1, hi: nd.hi}
+	nd.left.occupied = f.hasKeyIn(nd.left.lo, nd.left.hi)
+	nd.right.occupied = f.hasKeyIn(nd.right.lo, nd.right.hi)
+	f.numNodes += 2
+}
+
+// MayContainRange reports whether [lo, hi] may contain a key.
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		return false
+	}
+	return f.probe(f.root, lo, hi)
+}
+
+func (f *Filter) probe(nd *node, lo, hi uint64) bool {
+	if hi < nd.lo || lo > nd.hi {
+		return false
+	}
+	if nd.isLeaf() {
+		return nd.occupied
+	}
+	return f.probe(nd.left, lo, hi) || f.probe(nd.right, lo, hi)
+}
+
+// Adapt informs the filter that MayContainRange(lo, hi) returned true
+// but the range is actually empty. Occupied leaves overlapping the range
+// are split (recursively, within budget) so the repeated query stops
+// paying.
+func (f *Filter) Adapt(lo, hi uint64) {
+	f.adapts++
+	f.refine(f.root, lo, hi)
+}
+
+func (f *Filter) refine(nd *node, lo, hi uint64) {
+	if hi < nd.lo || lo > nd.hi {
+		return
+	}
+	if nd.isLeaf() {
+		if !nd.occupied || nd.lo == nd.hi || f.numNodes+2 > f.budget {
+			return
+		}
+		// Only split when the leaf is a false positive for this query —
+		// i.e. the overlap region is truly empty.
+		oLo, oHi := maxU(lo, nd.lo), minU(hi, nd.hi)
+		if f.hasKeyIn(oLo, oHi) {
+			return // genuine hit; adapting would be wrong
+		}
+		f.split(nd)
+		f.refine(nd.left, lo, hi)
+		f.refine(nd.right, lo, hi)
+		return
+	}
+	f.refine(nd.left, lo, hi)
+	f.refine(nd.right, lo, hi)
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Nodes returns the current node count.
+func (f *Filter) Nodes() int { return f.numNodes }
+
+// Adaptations returns how many Adapt calls were made.
+func (f *Filter) Adaptations() int { return f.adapts }
+
+// SizeBits charges the paper's succinct encoding: about 2 bits per node
+// (shape bit + leaf-occupancy bit). The training key set belongs to the
+// host database and is not charged.
+func (f *Filter) SizeBits() int { return f.numNodes * 2 }
+
+var _ core.RangeFilter = (*Filter)(nil)

@@ -1,0 +1,234 @@
+// Package bitvec provides the packed bit-level containers used throughout
+// the library: a growable bit vector, a rank/select index over it, and a
+// packed array of fixed-width integers. These are the physical storage for
+// the quotient filter's slots, the succinct trie in SuRF, Elias–Fano
+// sequences, and the sparse arrays in SNARF.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a fixed-capacity bit vector. The zero value is an empty
+// vector; use New to allocate capacity up front.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns a Vector with n bits, all zero.
+func New(n int) *Vector {
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Bit reports whether bit i is set.
+func (v *Vector) Bit(i int) bool {
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) { v.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) { v.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// SetTo sets bit i to b.
+func (v *Vector) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Append adds a bit at the end, growing the vector.
+func (v *Vector) Append(b bool) {
+	if v.n>>6 >= len(v.words) {
+		v.words = append(v.words, 0)
+	}
+	if b {
+		v.words[v.n>>6] |= 1 << (uint(v.n) & 63)
+	}
+	v.n++
+}
+
+// OnesCount returns the total number of set bits.
+func (v *Vector) OnesCount() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// SizeBits returns the memory footprint of the payload in bits.
+func (v *Vector) SizeBits() int { return len(v.words) * 64 }
+
+// word returns the i-th 64-bit word (for the rank index).
+func (v *Vector) word(i int) uint64 { return v.words[i] }
+
+// RankSelect is an immutable rank/select index over a Vector snapshot.
+// Rank1 is O(1) via per-word cumulative counts sampled every superblock;
+// Select1 is O(log n) by binary search on the rank samples.
+//
+// The index must be rebuilt (NewRankSelect) after the vector is mutated.
+type RankSelect struct {
+	v *Vector
+	// cum[i] = number of ones in words [0, i). One entry per word keeps
+	// the implementation simple; the space cost (64 bits per 64 bits) is
+	// acceptable for the structure sizes in this library and is excluded
+	// from "succinct space" accounting where relevant callers track their
+	// own budgets.
+	cum []uint32
+	// total number of ones.
+	ones int
+}
+
+// NewRankSelect builds a rank/select index over v. The caller must not
+// mutate v afterwards.
+func NewRankSelect(v *Vector) *RankSelect {
+	rs := &RankSelect{v: v, cum: make([]uint32, len(v.words)+1)}
+	c := uint32(0)
+	for i, w := range v.words {
+		rs.cum[i] = c
+		c += uint32(bits.OnesCount64(w))
+	}
+	rs.cum[len(v.words)] = c
+	rs.ones = int(c)
+	return rs
+}
+
+// Ones returns the total number of set bits.
+func (rs *RankSelect) Ones() int { return rs.ones }
+
+// Rank1 returns the number of set bits in positions [0, i). i may equal
+// Len(), giving the total count.
+func (rs *RankSelect) Rank1(i int) int {
+	w := i >> 6
+	r := int(rs.cum[w])
+	if rem := uint(i) & 63; rem != 0 {
+		r += bits.OnesCount64(rs.v.words[w] & ((1 << rem) - 1))
+	}
+	return r
+}
+
+// Rank0 returns the number of zero bits in positions [0, i).
+func (rs *RankSelect) Rank0(i int) int { return i - rs.Rank1(i) }
+
+// Select1 returns the position of the (k+1)-th set bit (k is 0-based).
+// It panics if k >= Ones().
+func (rs *RankSelect) Select1(k int) int {
+	if k < 0 || k >= rs.ones {
+		panic(fmt.Sprintf("bitvec: Select1(%d) out of range (ones=%d)", k, rs.ones))
+	}
+	// Binary search for the word containing the target bit.
+	lo, hi := 0, len(rs.v.words)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(rs.cum[mid]) <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	w := rs.v.words[lo]
+	rem := k - int(rs.cum[lo])
+	return lo<<6 + selectInWord(w, rem)
+}
+
+// Select0 returns the position of the (k+1)-th zero bit (k is 0-based).
+func (rs *RankSelect) Select0(k int) int {
+	zeros := rs.v.n - rs.ones
+	if k < 0 || k >= zeros {
+		panic(fmt.Sprintf("bitvec: Select0(%d) out of range (zeros=%d)", k, zeros))
+	}
+	lo, hi := 0, len(rs.v.words)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if mid<<6-int(rs.cum[mid]) <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	w := ^rs.v.words[lo]
+	rem := k - (lo<<6 - int(rs.cum[lo]))
+	return lo<<6 + selectInWord(w, rem)
+}
+
+// selectInWord returns the position (0-63) of the (r+1)-th set bit in w.
+func selectInWord(w uint64, r int) int {
+	for i := 0; i < r; i++ {
+		w &= w - 1 // clear lowest set bit
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// SizeBits returns the footprint of the index itself (not the vector).
+func (rs *RankSelect) SizeBits() int { return len(rs.cum) * 32 }
+
+// Packed is an array of n fixed-width (w-bit) unsigned integers stored
+// contiguously in 64-bit words. It is the backing store for remainders in
+// the quotient filter, fingerprints in table filters, and Elias–Fano low
+// bits.
+type Packed struct {
+	words []uint64
+	n     int
+	w     uint // bits per element, 0 < w <= 64
+}
+
+// NewPacked returns a Packed array of n elements, each w bits, all zero.
+func NewPacked(n int, w uint) *Packed {
+	if w == 0 || w > 64 {
+		panic(fmt.Sprintf("bitvec: invalid element width %d", w))
+	}
+	totalBits := n * int(w)
+	return &Packed{words: make([]uint64, (totalBits+63)/64), n: n, w: w}
+}
+
+// Len returns the number of elements.
+func (p *Packed) Len() int { return p.n }
+
+// Width returns the element width in bits.
+func (p *Packed) Width() uint { return p.w }
+
+// Get returns element i.
+func (p *Packed) Get(i int) uint64 {
+	bitPos := uint64(i) * uint64(p.w)
+	word := bitPos >> 6
+	off := bitPos & 63
+	mask := maskW(p.w)
+	v := p.words[word] >> off
+	if off+uint64(p.w) > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	return v & mask
+}
+
+// Set stores x (truncated to w bits) at element i.
+func (p *Packed) Set(i int, x uint64) {
+	bitPos := uint64(i) * uint64(p.w)
+	word := bitPos >> 6
+	off := bitPos & 63
+	mask := maskW(p.w)
+	x &= mask
+	p.words[word] = p.words[word]&^(mask<<off) | x<<off
+	if off+uint64(p.w) > 64 {
+		rem := 64 - off
+		p.words[word+1] = p.words[word+1]&^(mask>>rem) | x>>rem
+	}
+}
+
+// SizeBits returns the payload footprint in bits.
+func (p *Packed) SizeBits() int { return len(p.words) * 64 }
+
+func maskW(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}

@@ -1,0 +1,99 @@
+// Package bloom implements the Bloom filter family surveyed by the
+// tutorial: the classic Bloom filter (§2, semi-dynamic), the counting
+// Bloom filter with fixed-width counters, saturation detection and
+// rebuild (§2.6), a spectral-style variant with the minimum-increase
+// heuristic and an overflow table for skewed multisets (§2.6), and the
+// scalable Bloom filter — a chain of geometrically growing filters with
+// tightening false-positive rates (§2.2).
+package bloom
+
+import (
+	"math"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Filter is a classic Bloom filter over uint64 keys. It is semi-dynamic:
+// insertions are supported, deletions are not, and the target capacity
+// must be known at construction for the FPR guarantee to hold.
+type Filter struct {
+	bits *bitvec.Vector
+	m    uint64 // number of bits
+	k    uint   // hash functions
+	seed uint64
+	n    int // inserted keys (informational)
+}
+
+// New returns a Bloom filter sized for n keys at the target false
+// positive rate epsilon, using the optimal k = ln2 * m/n hash functions.
+func New(n int, epsilon float64) *Filter {
+	bitsPerKey := core.BloomBitsPerKey(epsilon)
+	return NewBits(n, bitsPerKey)
+}
+
+// NewBits returns a Bloom filter with the given bits-per-key budget.
+func NewBits(n int, bitsPerKey float64) *Filter {
+	return NewBitsSeeded(n, bitsPerKey, 0x5EEDB10000000001)
+}
+
+// NewBitsSeeded is NewBits with an explicit hash seed. Structures that
+// layer several Bloom filters over related key sets (stacked filters,
+// Rosetta, sequence Bloom trees) must give each layer its own seed, or
+// inter-layer hash correlations inflate the compound false-positive
+// rate.
+func NewBitsSeeded(n int, bitsPerKey float64, seed uint64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	m := uint64(math.Ceil(float64(n) * bitsPerKey))
+	if m < 64 {
+		m = 64
+	}
+	return &Filter{
+		bits: bitvec.New(int(m)),
+		m:    m,
+		k:    uint(core.BloomOptimalK(bitsPerKey)),
+		seed: seed,
+	}
+}
+
+// K returns the number of hash functions in use.
+func (f *Filter) K() uint { return f.k }
+
+// Insert adds key to the filter. It never fails, but inserting beyond the
+// sized capacity degrades the false-positive rate.
+func (f *Filter) Insert(key uint64) error {
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, f.seed))
+	for i := uint(0); i < f.k; i++ {
+		f.bits.Set(int(hashutil.Reduce(hashutil.KHash(h1, h2, i), f.m)))
+	}
+	f.n++
+	return nil
+}
+
+// Contains reports whether key may have been inserted.
+func (f *Filter) Contains(key uint64) bool {
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, f.seed))
+	for i := uint(0); i < f.k; i++ {
+		if !f.bits.Bit(int(hashutil.Reduce(hashutil.KHash(h1, h2, i), f.m))) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of inserted keys.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBits returns the filter's footprint in bits.
+func (f *Filter) SizeBits() int { return f.bits.SizeBits() }
+
+// FillRatio returns the fraction of set bits (diagnostic; ≈ 0.5 at design
+// capacity with optimal k).
+func (f *Filter) FillRatio() float64 {
+	return float64(f.bits.OnesCount()) / float64(f.m)
+}
+
+var _ core.MutableFilter = (*Filter)(nil)

@@ -1,0 +1,146 @@
+package bloom
+
+import (
+	"math"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Counting is a counting Bloom filter: each of the m positions holds a
+// fixed-width counter instead of a bit, so deletions and multiplicity
+// queries are supported. As the tutorial notes (§2.6), fixed-width
+// counters can saturate; a saturated counter is never decremented again
+// (it "sticks"), which protects against false negatives but makes later
+// counts at that cell permanently overestimate, and deletes elsewhere can
+// no longer restore the advertised error rate. Saturations returns how
+// many cells have stuck so callers can trigger RebuildWider.
+type Counting struct {
+	counters   *bitvec.Packed
+	m          uint64
+	k          uint
+	width      uint // counter width in bits
+	maxCount   uint64
+	seed       uint64
+	saturated  int
+	totalCount uint64 // total multiplicity inserted minus removed
+}
+
+// NewCounting returns a counting Bloom filter sized for n distinct keys
+// at false positive rate epsilon with counterWidth-bit counters
+// (typically 4, per the classic construction).
+func NewCounting(n int, epsilon float64, counterWidth uint) *Counting {
+	if counterWidth == 0 || counterWidth > 32 {
+		panic("bloom: counter width must be in [1,32]")
+	}
+	bitsPerKey := core.BloomBitsPerKey(epsilon)
+	m := uint64(math.Ceil(float64(n) * bitsPerKey))
+	if m < 64 {
+		m = 64
+	}
+	return &Counting{
+		counters: bitvec.NewPacked(int(m), counterWidth),
+		m:        m,
+		k:        uint(core.BloomOptimalK(bitsPerKey)),
+		width:    counterWidth,
+		maxCount: (1 << counterWidth) - 1,
+		seed:     0x5EEDC0,
+	}
+}
+
+func (c *Counting) positions(key uint64, fn func(pos int)) {
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, c.seed))
+	for i := uint(0); i < c.k; i++ {
+		fn(int(hashutil.Reduce(hashutil.KHash(h1, h2, i), c.m)))
+	}
+}
+
+// Add inserts delta occurrences of key.
+func (c *Counting) Add(key uint64, delta uint64) error {
+	c.positions(key, func(pos int) {
+		v := c.counters.Get(pos)
+		nv := v + delta
+		if nv > c.maxCount || nv < v {
+			if v != c.maxCount {
+				c.saturated++
+			}
+			nv = c.maxCount
+		}
+		c.counters.Set(pos, nv)
+	})
+	c.totalCount += delta
+	return nil
+}
+
+// Insert adds one occurrence of key (core.MutableFilter).
+func (c *Counting) Insert(key uint64) error { return c.Add(key, 1) }
+
+// Remove deletes delta occurrences of key. Saturated counters are left
+// untouched (decrementing them could create false negatives); this is the
+// undercount hazard the tutorial describes.
+func (c *Counting) Remove(key uint64, delta uint64) error {
+	c.positions(key, func(pos int) {
+		v := c.counters.Get(pos)
+		if v == c.maxCount {
+			return // stuck
+		}
+		if v < delta {
+			v = delta // clamp; indicates a delete of a never-inserted key
+		}
+		c.counters.Set(pos, v-delta)
+	})
+	if c.totalCount >= delta {
+		c.totalCount -= delta
+	}
+	return nil
+}
+
+// Delete removes one occurrence of key (core.DeletableFilter).
+func (c *Counting) Delete(key uint64) error { return c.Remove(key, 1) }
+
+// Count returns the estimated multiplicity of key: the minimum over its
+// counter cells (the count-min style bound; never an underestimate while
+// no counter involved has saturated-and-stuck below the true count).
+func (c *Counting) Count(key uint64) uint64 {
+	min := c.maxCount + 1
+	c.positions(key, func(pos int) {
+		if v := c.counters.Get(pos); v < min {
+			min = v
+		}
+	})
+	return min
+}
+
+// Contains reports whether key may be present (count > 0).
+func (c *Counting) Contains(key uint64) bool { return c.Count(key) > 0 }
+
+// Saturations returns the number of counter-saturation events so far.
+func (c *Counting) Saturations() int { return c.saturated }
+
+// SizeBits returns the footprint in bits.
+func (c *Counting) SizeBits() int { return c.counters.SizeBits() }
+
+// RebuildWider returns a new counting filter with counters one bit wider,
+// repopulated from the exact multiset the caller supplies. This is the
+// tutorial's remedy for saturation: "rebuilding the entire data structure
+// with larger counters whenever one of the counters saturates".
+func (c *Counting) RebuildWider(exact map[uint64]uint64) *Counting {
+	nw := &Counting{
+		counters: bitvec.NewPacked(int(c.m), c.width+1),
+		m:        c.m,
+		k:        c.k,
+		width:    c.width + 1,
+		maxCount: (1 << (c.width + 1)) - 1,
+		seed:     c.seed,
+	}
+	for k, cnt := range exact {
+		nw.Add(k, cnt)
+	}
+	return nw
+}
+
+var (
+	_ core.CountingFilter  = (*Counting)(nil)
+	_ core.DeletableFilter = (*Counting)(nil)
+)

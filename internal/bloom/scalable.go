@@ -1,0 +1,86 @@
+package bloom
+
+import (
+	"beyondbloom/internal/core"
+)
+
+// Scalable is a scalable Bloom filter (Almeida et al., §2.2): a chain of
+// Bloom filters with geometrically growing capacities and geometrically
+// tightening false-positive rates, so the compound FPR converges to a
+// fixed budget no matter how far the set grows. It is the classic
+// "chain of filters" answer to expansion; its cost, which experiment E3
+// measures, is that queries must probe every filter in the chain.
+type Scalable struct {
+	stages     []*Filter
+	stageCap   []int
+	growth     int     // capacity growth factor per stage
+	tightening float64 // per-stage FPR multiplier (r < 1)
+	stageEps   float64 // FPR of the next stage to allocate
+	initialCap int
+	n          int
+}
+
+// NewScalable returns a scalable Bloom filter starting at initialCap keys
+// with a compound false-positive budget epsilon. Stage i gets capacity
+// initialCap*2^i and FPR epsilon*(1-r)*r^i with tightening ratio r=0.5,
+// so the series sums to epsilon.
+func NewScalable(initialCap int, epsilon float64) *Scalable {
+	if initialCap < 1 {
+		initialCap = 1
+	}
+	const r = 0.5
+	return &Scalable{
+		growth:     2,
+		tightening: r,
+		stageEps:   epsilon * (1 - r),
+		initialCap: initialCap,
+	}
+}
+
+func (s *Scalable) addStage() {
+	cap := s.initialCap
+	for range s.stages {
+		cap *= s.growth
+	}
+	s.stages = append(s.stages, New(cap, s.stageEps))
+	s.stageCap = append(s.stageCap, cap)
+	s.stageEps *= s.tightening
+}
+
+// Insert adds key, opening a new stage when the current one reaches its
+// design capacity.
+func (s *Scalable) Insert(key uint64) error {
+	if len(s.stages) == 0 || s.stages[len(s.stages)-1].Len() >= s.stageCap[len(s.stages)-1] {
+		s.addStage()
+	}
+	s.n++
+	return s.stages[len(s.stages)-1].Insert(key)
+}
+
+// Contains probes every stage in the chain (the linear query cost the
+// tutorial attributes to chained expansion).
+func (s *Scalable) Contains(key uint64) bool {
+	for _, st := range s.stages {
+		if st.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stages returns the current chain length (query cost in probes).
+func (s *Scalable) Stages() int { return len(s.stages) }
+
+// Len returns the number of inserted keys.
+func (s *Scalable) Len() int { return s.n }
+
+// SizeBits returns the total footprint of all stages.
+func (s *Scalable) SizeBits() int {
+	total := 0
+	for _, st := range s.stages {
+		total += st.SizeBits()
+	}
+	return total
+}
+
+var _ core.MutableFilter = (*Scalable)(nil)

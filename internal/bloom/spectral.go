@@ -1,0 +1,149 @@
+package bloom
+
+import (
+	"math"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Spectral is a spectral-Bloom-style counting filter for skewed
+// multisets (§2.6). It keeps narrow base counters and applies the
+// minimum-increase (MI) heuristic: on insertion only the cells currently
+// holding the minimum are incremented, which keeps small counters small
+// under skew. Counts too large for the base width spill into an overflow
+// table keyed by the cell index — standing in for the original's
+// variable-width counter encoding while preserving its space behaviour
+// on skewed input (few heavy hitters pay for big counters; the long tail
+// stays narrow).
+//
+// Like the original spectral Bloom filter, Spectral supports deletions
+// only of keys known to be present and may overestimate counts.
+type Spectral struct {
+	counters *bitvec.Packed
+	overflow map[int]uint64 // cell -> full count, when >= baseMax
+	m        uint64
+	k        uint
+	baseMax  uint64
+	seed     uint64
+}
+
+// NewSpectral returns a spectral filter sized for n distinct keys at
+// false-positive rate epsilon with baseWidth-bit base counters
+// (typically 2-4 bits).
+func NewSpectral(n int, epsilon float64, baseWidth uint) *Spectral {
+	if baseWidth == 0 || baseWidth > 16 {
+		panic("bloom: base width must be in [1,16]")
+	}
+	bitsPerKey := core.BloomBitsPerKey(epsilon)
+	m := uint64(math.Ceil(float64(n) * bitsPerKey))
+	if m < 64 {
+		m = 64
+	}
+	return &Spectral{
+		counters: bitvec.NewPacked(int(m), baseWidth),
+		overflow: make(map[int]uint64),
+		m:        m,
+		k:        uint(core.BloomOptimalK(bitsPerKey)),
+		baseMax:  (1 << baseWidth) - 1, // baseMax means "see overflow table"
+		seed:     0x5EED5BEC,
+	}
+}
+
+func (s *Spectral) cells(key uint64) []int {
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, s.seed))
+	cells := make([]int, s.k)
+	for i := uint(0); i < s.k; i++ {
+		cells[i] = int(hashutil.Reduce(hashutil.KHash(h1, h2, i), s.m))
+	}
+	return cells
+}
+
+func (s *Spectral) cellCount(pos int) uint64 {
+	v := s.counters.Get(pos)
+	if v == s.baseMax {
+		return s.overflow[pos]
+	}
+	return v
+}
+
+func (s *Spectral) setCellCount(pos int, v uint64) {
+	if v >= s.baseMax {
+		s.counters.Set(pos, s.baseMax)
+		s.overflow[pos] = v
+	} else {
+		s.counters.Set(pos, v)
+		delete(s.overflow, pos)
+	}
+}
+
+// Add inserts delta occurrences of key using the minimum-increase
+// heuristic. A bulk delta is equivalent to delta sequential unit MI
+// increments, which leaves each cell at max(cell, min+delta): cells
+// already above min+delta are untouched, everything lower is pulled up.
+// (Raising only cells exactly at the minimum would underestimate for
+// delta > 1: with cells (0,3) and delta 5 the estimate would read 3.)
+func (s *Spectral) Add(key uint64, delta uint64) error {
+	cells := s.cells(key)
+	min := s.cellCount(cells[0])
+	for _, c := range cells[1:] {
+		if v := s.cellCount(c); v < min {
+			min = v
+		}
+	}
+	target := min + delta
+	for _, c := range cells {
+		if s.cellCount(c) < target {
+			s.setCellCount(c, target)
+		}
+	}
+	return nil
+}
+
+// Insert adds one occurrence of key.
+func (s *Spectral) Insert(key uint64) error { return s.Add(key, 1) }
+
+// Remove is unsupported: the minimum-increase heuristic sacrifices
+// deletability (a cell skipped at insert time cannot safely be
+// decremented later), exactly as in the original spectral Bloom filter's
+// MI variant. It returns core.ErrImmutable.
+func (s *Spectral) Remove(key uint64, delta uint64) error {
+	return core.ErrImmutable
+}
+
+// Count returns the estimated multiplicity: the minimum over the key's
+// cells, which with MI updates is a tight overestimate.
+func (s *Spectral) Count(key uint64) uint64 {
+	cells := s.cells(key)
+	min := s.cellCount(cells[0])
+	for _, c := range cells[1:] {
+		if v := s.cellCount(c); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Contains reports whether key may be present.
+func (s *Spectral) Contains(key uint64) bool { return s.Count(key) > 0 }
+
+// SizeBits returns the footprint: base counters plus the overflow
+// region. The Go map is an implementation convenience standing in for
+// the original's variable-width counter encoding, so each overflow entry
+// is charged what that encoding would pay: its counter's log2 width plus
+// a small per-entry header (position coding + slack), rather than the
+// map's actual machine cost.
+func (s *Spectral) SizeBits() int {
+	bits := s.counters.SizeBits()
+	for _, c := range s.overflow {
+		width := 1
+		for c>>uint(width) != 0 {
+			width++
+		}
+		bits += width + 8
+	}
+	return bits
+}
+
+var _ core.CountingFilter = (*Spectral)(nil)

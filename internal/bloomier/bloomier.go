@@ -1,0 +1,205 @@
+// Package bloomier implements the Bloomier filter (Chazelle et al.,
+// §2.4 of the tutorial): a static maplet built over a fixed key set. A
+// query for a present key returns exactly its value (PRS = 1); a query
+// for an absent key is detected with probability 1-ε and otherwise
+// returns one arbitrary value (NRS ≤ 1). Values of existing keys can be
+// updated in O(1), but new keys cannot be inserted.
+//
+// Construction follows Chazelle's two-table design: a selector table G,
+// built by 3-hypergraph peeling, encodes for each key which of its three
+// slots is "critical" along with a checksum; a value table V stores the
+// value at the critical slot. Updates write V directly without touching
+// G, which is what distinguishes a Bloomier filter from an XOR filter
+// with values.
+package bloomier
+
+import (
+	"errors"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// ErrConstruction is returned when peeling fails after all seed retries.
+var ErrConstruction = errors.New("bloomier: construction failed")
+
+// ErrUnknownKey is returned by Update for keys outside the build set.
+var ErrUnknownKey = errors.New("bloomier: key not in build set")
+
+// Filter is an immutable-keyset Bloomier filter mapping uint64 keys to
+// vBits-bit values.
+type Filter struct {
+	g      *bitvec.Packed // selector (2 bits) + checksum (fpBits)
+	v      *bitvec.Packed // values
+	m      uint64
+	fpBits uint
+	vBits  uint
+	seed   uint64
+	n      int
+}
+
+// New builds a Bloomier filter mapping keys[i] -> values[i], with
+// fpBits-bit checksums (false-positive rate 2^-fpBits for absent keys).
+func New(keys, values []uint64, fpBits, vBits uint) (*Filter, error) {
+	if len(keys) != len(values) {
+		panic("bloomier: keys/values length mismatch")
+	}
+	if fpBits < 1 || fpBits > 30 || vBits < 1 || vBits > 62 {
+		panic("bloomier: invalid geometry")
+	}
+	n := len(keys)
+	m := uint64(float64(n)*1.23) + 32
+	for attempt := uint64(1); attempt <= 64; attempt++ {
+		f := &Filter{
+			g:      bitvec.NewPacked(int(m), 2+fpBits),
+			v:      bitvec.NewPacked(int(m), vBits),
+			m:      m,
+			fpBits: fpBits,
+			vBits:  vBits,
+			seed:   attempt * 0xB10031E500000001,
+			n:      n,
+		}
+		if f.build(keys, values) {
+			return f, nil
+		}
+	}
+	return nil, ErrConstruction
+}
+
+// hashes returns the three candidate slots and the checksum for key.
+func (f *Filter) hashes(key uint64) (h [3]uint64, check uint64) {
+	x := hashutil.MixSeed(key, f.seed)
+	third := f.m / 3
+	h[0] = hashutil.Reduce(x, third)
+	h[1] = third + hashutil.Reduce(hashutil.Mix64(x+1), third)
+	h[2] = 2*third + hashutil.Reduce(hashutil.Mix64(x+2), f.m-2*third)
+	check = hashutil.Fingerprint(hashutil.Mix64(x+3), f.fpBits)
+	return
+}
+
+func (f *Filter) build(keys, values []uint64) bool {
+	m := int(f.m)
+	xorKey := make([]uint64, m)
+	xorIdx := make([]int, m) // xor of key indices (to recover which key)
+	degree := make([]int32, m)
+	for i, k := range keys {
+		h, _ := f.hashes(k)
+		for _, s := range h {
+			xorKey[s] ^= k
+			xorIdx[s] ^= i
+			degree[s]++
+		}
+	}
+	type peeled struct {
+		slot uint64
+		idx  int
+	}
+	stack := make([]peeled, 0, len(keys))
+	queue := make([]int, 0, m)
+	for s := 0; s < m; s++ {
+		if degree[s] == 1 {
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if degree[s] != 1 {
+			continue
+		}
+		i := xorIdx[s]
+		k := keys[i]
+		stack = append(stack, peeled{slot: uint64(s), idx: i})
+		h, _ := f.hashes(k)
+		for _, hs := range h {
+			xorKey[hs] ^= k
+			xorIdx[hs] ^= i
+			degree[hs]--
+			if degree[hs] == 1 {
+				queue = append(queue, int(hs))
+			}
+		}
+	}
+	if len(stack) != len(keys) {
+		return false
+	}
+	// Assign G in reverse peel order so each key's critical slot is
+	// written last: G[h0]^G[h1]^G[h2] must equal selector|check, where
+	// selector says which of the three slots is the critical one.
+	for i := len(stack) - 1; i >= 0; i-- {
+		p := stack[i]
+		k := keys[p.idx]
+		h, check := f.hashes(k)
+		var sel uint64
+		for j, hs := range h {
+			if hs == p.slot {
+				sel = uint64(j)
+				break
+			}
+		}
+		want := check<<2 | sel
+		g := want
+		for _, hs := range h {
+			if hs != p.slot {
+				g ^= f.g.Get(int(hs))
+			}
+		}
+		f.g.Set(int(p.slot), g)
+		f.v.Set(int(p.slot), values[p.idx])
+	}
+	return true
+}
+
+// criticalSlot decodes key's critical slot if the checksum matches.
+func (f *Filter) criticalSlot(key uint64) (uint64, bool) {
+	h, check := f.hashes(key)
+	d := f.g.Get(int(h[0])) ^ f.g.Get(int(h[1])) ^ f.g.Get(int(h[2]))
+	if d>>2 != check {
+		return 0, false
+	}
+	sel := d & 3
+	if sel > 2 {
+		return 0, false
+	}
+	return h[sel], true
+}
+
+// Get returns the candidate values for key: exactly one for keys in the
+// build set, at most one (with probability ε) for absent keys.
+func (f *Filter) Get(key uint64) []uint64 {
+	if s, ok := f.criticalSlot(key); ok {
+		return []uint64{f.v.Get(int(s))}
+	}
+	return nil
+}
+
+// Contains reports whether key appears to be in the build set.
+func (f *Filter) Contains(key uint64) bool {
+	_, ok := f.criticalSlot(key)
+	return ok
+}
+
+// Update changes the value of a key from the build set in O(1). Updating
+// a key outside the build set usually returns ErrUnknownKey; with
+// probability ε it instead silently corrupts one colliding key's value,
+// exactly as in the original structure.
+func (f *Filter) Update(key, value uint64) error {
+	s, ok := f.criticalSlot(key)
+	if !ok {
+		return ErrUnknownKey
+	}
+	f.v.Set(int(s), value)
+	return nil
+}
+
+// Put is Update under the core.Maplet interface: the key set is static.
+func (f *Filter) Put(key, value uint64) error { return f.Update(key, value) }
+
+// Len returns the build-set size.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBits returns the footprint of both tables in bits.
+func (f *Filter) SizeBits() int { return f.g.SizeBits() + f.v.SizeBits() }
+
+var _ core.Maplet = (*Filter)(nil)

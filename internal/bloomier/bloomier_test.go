@@ -1,0 +1,123 @@
+package bloomier
+
+import (
+	"errors"
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func buildPairs(n int, seed uint64) ([]uint64, []uint64) {
+	keys := workload.Keys(n, seed)
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i % 251)
+	}
+	return keys, values
+}
+
+func TestExactValues(t *testing.T) {
+	keys, values := buildPairs(50000, 1)
+	f, err := New(keys, values, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		got := f.Get(k)
+		if len(got) != 1 || got[0] != values[i] {
+			t.Fatalf("Get(%d) = %v, want [%d] — PRS must be exactly 1", k, got, values[i])
+		}
+	}
+}
+
+func TestNegativeQueries(t *testing.T) {
+	keys, values := buildPairs(20000, 2)
+	f, err := New(keys, values, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := workload.DisjointKeys(100000, 2)
+	fpr := metrics.FPR(f, neg)
+	if fpr > 2.5/1024 {
+		t.Errorf("FPR %g, want ≈ 2^-10", fpr)
+	}
+	// NRS: candidates per negative query must be <= 1.
+	for _, k := range neg[:10000] {
+		if len(f.Get(k)) > 1 {
+			t.Fatal("NRS > 1")
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	keys, values := buildPairs(1000, 3)
+	f, err := New(keys, values, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(keys[5], 123); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Get(keys[5]); len(got) != 1 || got[0] != 123 {
+		t.Fatalf("after update Get = %v", got)
+	}
+	// Other keys untouched.
+	for i, k := range keys {
+		if i == 5 {
+			continue
+		}
+		if got := f.Get(k); len(got) != 1 || got[0] != values[i] {
+			t.Fatalf("update corrupted key %d: %v", i, got)
+		}
+	}
+}
+
+func TestUpdateUnknownKey(t *testing.T) {
+	keys, values := buildPairs(1000, 4)
+	f, err := New(keys, values, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknown := workload.DisjointKeys(100, 4)
+	rejected := 0
+	for _, k := range unknown {
+		if err := f.Update(k, 9); errors.Is(err, ErrUnknownKey) {
+			rejected++
+		}
+	}
+	if rejected < 99 { // ~2^-16 slip probability
+		t.Errorf("only %d/100 unknown updates rejected", rejected)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	f, err := New(nil, nil, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Contains(1) {
+		t.Error("empty bloomier claims membership")
+	}
+}
+
+func TestMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	New([]uint64{1}, nil, 8, 8)
+}
+
+func BenchmarkGet(b *testing.B) {
+	keys, values := buildPairs(100000, 9)
+	f, err := New(keys, values, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Get(keys[i%len(keys)])
+	}
+}

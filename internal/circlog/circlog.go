@@ -1,0 +1,231 @@
+// Package circlog implements the second storage-engine class of §3.1: a
+// circular-log key-value store (FASTER, the Pliops data processor). All
+// writes — insertions, updates, deletes — append log records to an
+// append-only device; an in-memory maplet maps each live key to its
+// record's location; and a garbage collector walks the tail, drops
+// obsolete records, and re-appends live ones at the head.
+//
+// The tutorial's point about this design: "It is crucial for these
+// maplets to support updates, deletes, and expansion ... Interestingly,
+// no system that we are aware of uses maplets that meet these
+// requirements." The expandable quotient-filter maplet built here is
+// exactly such a maplet: Put/Delete/Expand with NRS = ε, so lookups for
+// absent keys almost never touch the log, and lookups for present keys
+// read ~one record (PRS = 1+ε candidates, each verified against the
+// record's stored key).
+package circlog
+
+import (
+	"errors"
+
+	"beyondbloom/internal/quotient"
+)
+
+// record is one log entry. The log stores full keys, so maplet
+// candidates are verified exactly on read.
+type record struct {
+	key       uint64
+	value     uint64
+	tombstone bool
+}
+
+// Device counts simulated I/O: one read per record fetched, one write
+// per record appended.
+type Device struct {
+	Reads  int
+	Writes int
+}
+
+// Store is a circular-log KV store.
+type Store struct {
+	log    []record // append-only; GC rewrites the slice
+	head   uint64   // logical offset of log[0] (grows with GC)
+	maplet *quotient.Maplet
+	dev    *Device
+	live   int
+	// gcThreshold triggers collection when dead records exceed this
+	// fraction of the log.
+	gcThreshold float64
+	expansions  int
+}
+
+// offsetBits is the maplet value width: log offsets are stored modulo
+// 2^offsetBits, verified against the record's key on read (an aliased
+// offset simply misses verification and the candidate is discarded).
+const offsetBits = 28
+
+// New returns an empty store. The maplet starts small and expands as the
+// key set grows — the §2.2 requirement this engine exists to exercise.
+func New() *Store {
+	return &Store{
+		maplet:      quotient.NewMaplet(10, 12, offsetBits),
+		dev:         &Device{},
+		gcThreshold: 0.5,
+	}
+}
+
+// Device exposes the I/O counters.
+func (s *Store) Device() *Device { return s.dev }
+
+// Expansions returns how many times the maplet has doubled.
+func (s *Store) Expansions() int { return s.expansions }
+
+// LogLen returns the current physical log length in records.
+func (s *Store) LogLen() int { return len(s.log) }
+
+// Live returns the number of live keys.
+func (s *Store) Live() int { return s.live }
+
+// append writes a record and returns its logical offset.
+func (s *Store) append(r record) uint64 {
+	s.log = append(s.log, r)
+	s.dev.Writes++
+	return s.head + uint64(len(s.log)) - 1
+}
+
+// mapletPut inserts with expansion on overflow.
+func (s *Store) mapletPut(key, val uint64) {
+	for {
+		if err := s.maplet.Put(key, val); err == nil {
+			return
+		}
+		if err := s.maplet.Expand(); err != nil {
+			panic("circlog: maplet cannot expand further")
+		}
+		s.expansions++
+	}
+}
+
+// readAt fetches the record at a logical offset, if still in the log.
+func (s *Store) readAt(off uint64) (record, bool) {
+	if off < s.head || off >= s.head+uint64(len(s.log)) {
+		return record{}, false
+	}
+	s.dev.Reads++
+	return s.log[off-s.head], true
+}
+
+// candidates returns the log offsets the maplet suggests for key,
+// reconstructing full offsets from their stored low bits (newest GC
+// epoch first is unnecessary: offsets are unique among live records).
+func (s *Store) candidates(key uint64) []uint64 {
+	vals := s.maplet.Get(key)
+	out := vals[:0]
+	for _, v := range vals {
+		// Reconstruct: the stored value is off mod 2^offsetBits; the live
+		// log spans [head, head+len), which is far smaller than 2^28, so
+		// at most one reconstruction lands inside it.
+		base := s.head &^ (uint64(1)<<offsetBits - 1)
+		for _, cand := range [2]uint64{base | v, base + (1 << offsetBits) | v} {
+			if cand >= s.head && cand < s.head+uint64(len(s.log)) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// Put inserts or updates key. Updates append a fresh record and re-point
+// the maplet; the old record becomes garbage for the collector.
+func (s *Store) Put(key, value uint64) {
+	old, had := s.locate(key)
+	off := s.append(record{key: key, value: value})
+	if had {
+		// Re-point: remove the stale mapping first.
+		_ = s.maplet.Delete(key, old%(1<<offsetBits))
+	} else {
+		s.live++
+	}
+	s.mapletPut(key, off%(1<<offsetBits))
+	s.maybeGC()
+}
+
+// Delete removes key by appending a tombstone and dropping the mapping.
+func (s *Store) Delete(key uint64) {
+	old, had := s.locate(key)
+	if !had {
+		return
+	}
+	s.append(record{key: key, tombstone: true})
+	_ = s.maplet.Delete(key, old%(1<<offsetBits))
+	s.live--
+	s.maybeGC()
+}
+
+// locate finds the live record offset for key via the maplet, verifying
+// candidates against the log.
+func (s *Store) locate(key uint64) (uint64, bool) {
+	for _, off := range s.candidates(key) {
+		if r, ok := s.readAt(off); ok && r.key == key && !r.tombstone {
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key uint64) (uint64, bool) {
+	for _, off := range s.candidates(key) {
+		if r, ok := s.readAt(off); ok && r.key == key {
+			if r.tombstone {
+				return 0, false
+			}
+			return r.value, true
+		}
+	}
+	return 0, false
+}
+
+// maybeGC collects when the dead fraction crosses the threshold.
+func (s *Store) maybeGC() {
+	if len(s.log) == 0 {
+		return
+	}
+	dead := len(s.log) - s.live
+	if float64(dead)/float64(len(s.log)) > s.gcThreshold && dead > 64 {
+		s.GC()
+	}
+}
+
+// GC rewrites the log keeping only live records, updating the maplet's
+// mappings — the update+delete churn the tutorial says circular-log
+// maplets must support.
+func (s *Store) GC() {
+	newLog := make([]record, 0, s.live)
+	newHead := s.head + uint64(len(s.log))
+	for i, r := range s.log {
+		off := s.head + uint64(i)
+		if r.tombstone {
+			continue
+		}
+		// A record is live iff the maplet still points at it.
+		liveOff, ok := s.locateExactly(r.key, off)
+		if !ok || liveOff != off {
+			continue
+		}
+		s.dev.Reads++
+		newOff := newHead + uint64(len(newLog))
+		newLog = append(newLog, r)
+		s.dev.Writes++
+		_ = s.maplet.Delete(r.key, off%(1<<offsetBits))
+		s.mapletPut(r.key, newOff%(1<<offsetBits))
+	}
+	s.log = newLog
+	s.head = newHead
+}
+
+// locateExactly checks whether the maplet maps key to exactly off.
+func (s *Store) locateExactly(key, off uint64) (uint64, bool) {
+	for _, cand := range s.candidates(key) {
+		if cand == off {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// MapletBits returns the in-memory index footprint.
+func (s *Store) MapletBits() int { return s.maplet.SizeBits() }
+
+// ErrCorrupt is reserved for future integrity checks.
+var ErrCorrupt = errors.New("circlog: corrupt log")

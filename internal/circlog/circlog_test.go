@@ -1,0 +1,160 @@
+package circlog
+
+import (
+	"math/rand"
+	"testing"
+
+	"beyondbloom/internal/workload"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	keys := workload.Keys(20000, 1)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	for i, k := range keys {
+		v, ok := s.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, i)
+		}
+	}
+	// The maplet must have expanded to absorb 20k keys from its small
+	// initial size — the §2.2 expansion requirement.
+	if s.Expansions() < 3 {
+		t.Fatalf("expected maplet expansions, got %d", s.Expansions())
+	}
+	// Absent keys: no phantom values.
+	for _, k := range workload.DisjointKeys(5000, 1) {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestUpdateAndGC(t *testing.T) {
+	s := New()
+	const n = 2000
+	// Update every key many times: garbage accumulates, GC must kick in,
+	// and the latest value must win.
+	for round := uint64(0); round < 10; round++ {
+		for k := uint64(0); k < n; k++ {
+			s.Put(k, k*100+round)
+		}
+	}
+	if s.LogLen() > 3*n {
+		t.Fatalf("log has %d records for %d live keys — GC not collecting", s.LogLen(), n)
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := s.Get(k)
+		if !ok || v != k*100+9 {
+			t.Fatalf("Get(%d) = (%d,%v), want latest round", k, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	keys := workload.Keys(3000, 3)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	for _, k := range keys[:1500] {
+		s.Delete(k)
+	}
+	for _, k := range keys[:1500] {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("deleted key %d visible", k)
+		}
+	}
+	for i, k := range keys[1500:] {
+		v, ok := s.Get(k)
+		if !ok || v != uint64(i+1500) {
+			t.Fatalf("survivor lost")
+		}
+	}
+	if s.Live() != 1500 {
+		t.Fatalf("Live = %d", s.Live())
+	}
+	s.GC()
+	if s.LogLen() != 1500 {
+		t.Fatalf("post-GC log %d records, want 1500", s.LogLen())
+	}
+}
+
+func TestModelChurn(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(7))
+	model := map[uint64]uint64{}
+	for op := 0; op < 30000; op++ {
+		k := uint64(rng.Intn(2000))
+		switch rng.Intn(10) {
+		case 0:
+			s.Delete(k)
+			delete(model, k)
+		default:
+			v := rng.Uint64()
+			s.Put(k, v)
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		v, ok := s.Get(k)
+		if !ok || v != want {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, want)
+		}
+	}
+	for k := uint64(2000); k < 2500; k++ {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+	if s.Live() != len(model) {
+		t.Fatalf("Live = %d, model = %d", s.Live(), len(model))
+	}
+}
+
+func TestLookupCostNearOneRead(t *testing.T) {
+	s := New()
+	keys := workload.Keys(30000, 9)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	before := s.Device().Reads
+	for _, k := range keys[:5000] {
+		s.Get(k)
+	}
+	perHit := float64(s.Device().Reads-before) / 5000
+	if perHit > 1.1 {
+		t.Errorf("hit cost %f reads, want ~1 (PRS = 1+eps)", perHit)
+	}
+	before = s.Device().Reads
+	miss := workload.DisjointKeys(5000, 9)
+	for _, k := range miss {
+		s.Get(k)
+	}
+	perMiss := float64(s.Device().Reads-before) / 5000
+	if perMiss > 0.05 {
+		t.Errorf("miss cost %f reads, want ~eps (NRS)", perMiss)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put(uint64(i%100000), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New()
+	keys := workload.Keys(100000, 11)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i%len(keys)])
+	}
+}

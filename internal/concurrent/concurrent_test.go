@@ -1,0 +1,231 @@
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/cuckoo"
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/quotient"
+	"beyondbloom/internal/workload"
+)
+
+func newShardedQF(logShards uint, totalCap int) *Sharded {
+	return NewSharded(logShards, func(int) core.DeletableFilter {
+		return quotient.NewForCapacity(totalCap>>logShards+totalCap>>(logShards+1), 0.001)
+	})
+}
+
+func TestShardedBasic(t *testing.T) {
+	s := newShardedQF(3, 20000)
+	keys := workload.Keys(10000, 1)
+	for _, k := range keys {
+		if err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fn := metrics.FalseNegatives(s, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+	for _, k := range keys[:5000] {
+		if err := s.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fn := metrics.FalseNegatives(s, keys[5000:]); fn != 0 {
+		t.Fatalf("%d false negatives after deletes", fn)
+	}
+	if s.Shards() != 8 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+}
+
+func TestShardedConcurrentMixed(t *testing.T) {
+	// Hammer the filter from many goroutines with disjoint key slices;
+	// run with -race to validate the locking.
+	s := newShardedQF(4, 200000)
+	workers := runtime.GOMAXPROCS(0) * 2
+	perWorker := 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			keys := workload.Keys(perWorker, uint64(w+1))
+			for _, k := range keys {
+				if err := s.Insert(k); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+			for _, k := range keys {
+				if !s.Contains(k) {
+					t.Errorf("lost key %d", k)
+					return
+				}
+			}
+			for _, k := range keys[:perWorker/2] {
+				if err := s.Delete(k); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Survivors of every worker still present.
+	for w := 0; w < workers; w++ {
+		keys := workload.Keys(perWorker, uint64(w+1))
+		if fn := metrics.FalseNegatives(s, keys[perWorker/2:]); fn != 0 {
+			t.Fatalf("worker %d: %d false negatives", w, fn)
+		}
+	}
+}
+
+func TestShardedCuckooBackend(t *testing.T) {
+	s := NewSharded(2, func(int) core.DeletableFilter {
+		return cuckoo.New(4000, 14)
+	})
+	keys := workload.Keys(10000, 3)
+	for _, k := range keys {
+		if err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fn := metrics.FalseNegatives(s, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestCountingSharded(t *testing.T) {
+	c := NewCounting(3, func(int) core.CountingFilter {
+		return quotient.NewCountingForCapacity(2000, 0.001)
+	})
+	keys := workload.Keys(1000, 5)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, k := range keys {
+				if err := c.Add(k, 1); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, k := range keys {
+		if got := c.Count(k); got < 8 {
+			t.Fatalf("Count(%d) = %d, want >= 8", k, got)
+		}
+	}
+}
+
+func TestShardingUniform(t *testing.T) {
+	// Keys should spread roughly evenly across shards (capacity planning
+	// depends on it).
+	s := newShardedQF(4, 160000)
+	keys := workload.Keys(80000, 7)
+	for _, k := range keys {
+		s.Insert(k)
+	}
+	for i := range s.shards {
+		n := s.shards[i].f.(*quotient.Filter).Len()
+		want := len(keys) / len(s.shards)
+		if n < want*8/10 || n > want*12/10 {
+			t.Errorf("shard %d holds %d keys, want ≈%d", i, n, want)
+		}
+	}
+}
+
+func BenchmarkShardedInsertParallel(b *testing.B) {
+	s := newShardedQF(6, b.N+1024)
+	var ctr uint64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		base := ctr
+		ctr += 1 << 32
+		mu.Unlock()
+		i := base
+		for pb.Next() {
+			s.Insert(i)
+			i++
+		}
+	})
+}
+
+func BenchmarkShardedLookupParallel(b *testing.B) {
+	s := newShardedQF(6, 1<<20)
+	keys := workload.Keys(1<<19, 9)
+	for _, k := range keys {
+		s.Insert(k)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Contains(keys[i&(1<<19-1)])
+			i++
+		}
+	})
+}
+
+func TestCountingRemoveAndContains(t *testing.T) {
+	c := NewCounting(2, func(int) core.CountingFilter {
+		return quotient.NewCountingForCapacity(1000, 0.001)
+	})
+	keys := workload.Keys(200, 11)
+	for _, k := range keys {
+		c.Add(k, 3)
+	}
+	for _, k := range keys {
+		if !c.Contains(k) {
+			t.Fatalf("missing key %d", k)
+		}
+		if err := c.Remove(k, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	present := 0
+	for _, k := range keys {
+		if c.Contains(k) {
+			present++
+		}
+	}
+	if present > 2 {
+		t.Errorf("%d keys still present after removal", present)
+	}
+	if c.SizeBits() <= 0 {
+		t.Error("SizeBits must be positive")
+	}
+}
+
+func TestShardedSizeBits(t *testing.T) {
+	s := newShardedQF(2, 1000)
+	if s.SizeBits() <= 0 {
+		t.Error("SizeBits must be positive")
+	}
+}
+
+func TestTooManyShardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("13 log-shards should panic")
+		}
+	}()
+	NewSharded(13, func(int) core.DeletableFilter { return quotient.New(4, 4) })
+}
+
+func TestCountingTooManyShardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("13 log-shards should panic")
+		}
+	}()
+	NewCounting(13, func(int) core.CountingFilter { return quotient.NewCounting(4, 4) })
+}

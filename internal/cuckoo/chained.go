@@ -1,0 +1,86 @@
+package cuckoo
+
+import (
+	"beyondbloom/internal/core"
+)
+
+// Chained is a dynamic cuckoo filter (Chen et al., §2.2 of the
+// tutorial's expansion taxonomy): a linked list of fixed-size cuckoo
+// filters. When the active filter fills, a fresh one is appended; the
+// set size never needs to be known in advance. Queries probe every link
+// — the chain-growth query cost the tutorial contrasts with
+// InfiniFilter-style expansion — and deletes work because each
+// fingerprint lives in exactly one link.
+type Chained struct {
+	links   []*Filter
+	linkCap int
+	fpBits  uint
+	n       int
+}
+
+// NewChained returns a chained cuckoo filter whose links each hold about
+// linkCap keys with fpBits-bit fingerprints.
+func NewChained(linkCap int, fpBits uint) *Chained {
+	if linkCap < 8 {
+		linkCap = 8
+	}
+	return &Chained{linkCap: linkCap, fpBits: fpBits}
+}
+
+// Insert adds key to the newest link, appending a new link when full.
+func (c *Chained) Insert(key uint64) error {
+	if len(c.links) == 0 {
+		c.links = append(c.links, New(c.linkCap, c.fpBits))
+	}
+	last := c.links[len(c.links)-1]
+	if err := last.Insert(key); err == nil {
+		c.n++
+		return nil
+	}
+	nf := New(c.linkCap, c.fpBits)
+	if err := nf.Insert(key); err != nil {
+		return err
+	}
+	c.links = append(c.links, nf)
+	c.n++
+	return nil
+}
+
+// Contains probes every link.
+func (c *Chained) Contains(key uint64) bool {
+	for _, l := range c.links {
+		if l.Contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes one copy of key's fingerprint from the first link that
+// holds it.
+func (c *Chained) Delete(key uint64) error {
+	for _, l := range c.links {
+		if err := l.Delete(key); err == nil {
+			c.n--
+			return nil
+		}
+	}
+	return core.ErrNotFound
+}
+
+// Links returns the chain length (per-query probe count).
+func (c *Chained) Links() int { return len(c.links) }
+
+// Len returns the number of stored fingerprints.
+func (c *Chained) Len() int { return c.n }
+
+// SizeBits sums the links.
+func (c *Chained) SizeBits() int {
+	total := 0
+	for _, l := range c.links {
+		total += l.SizeBits()
+	}
+	return total
+}
+
+var _ core.DeletableFilter = (*Chained)(nil)

@@ -1,0 +1,198 @@
+// Package dleft implements the d-left counting Bloom filter (Bonomi et
+// al., §2.6 of the tutorial): d subtables of buckets holding
+// (fingerprint, counter) cells. Each key hashes to one candidate bucket
+// per subtable and is stored once, in the least-loaded candidate
+// (leftmost on ties — the "d-left" rule), giving far better space than a
+// counting Bloom filter (typically 2x, the tutorial's claim) and good
+// locality. The structure is not resizable and its false-positive rate
+// depends on the bucket geometry, which the tutorial lists as its
+// limitations.
+package dleft
+
+import (
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Filter is a d-left counting filter.
+type Filter struct {
+	// cells is laid out as d subtables × buckets × cellsPerBucket cells;
+	// each cell packs fingerprint<<ctrBits | counter. Counter zero with a
+	// nonzero fingerprint cannot occur (cells are freed when their
+	// counter hits zero), and fingerprint zero marks an empty cell.
+	cells          *bitvec.Packed
+	d              int
+	buckets        uint64 // per subtable
+	cellsPerBucket int
+	fpBits         uint
+	ctrBits        uint
+	seed           uint64
+	n              int // distinct stored fingerprints
+}
+
+// Geometry defaults follow the paper: 4 subtables, 8 cells per bucket.
+const (
+	defaultD     = 4
+	defaultCells = 8
+)
+
+// New returns a d-left counting filter sized for n distinct keys with
+// fpBits-bit fingerprints and ctrBits-bit counters.
+func New(n int, fpBits, ctrBits uint) *Filter {
+	if fpBits < 2 || fpBits > 32 || ctrBits < 1 || ctrBits > 24 {
+		panic("dleft: invalid geometry")
+	}
+	// Target average load of 6 of 8 cells per bucket. Bucket selection
+	// uses multiply-shift reduction, so the count need not be a power of
+	// two — avoiding up-to-2x rounding waste.
+	perTable := (uint64(n) + 1) / (defaultCells * defaultD * 3 / 4)
+	if perTable < 2 {
+		perTable = 2
+	}
+	return &Filter{
+		cells:          bitvec.NewPacked(defaultD*int(perTable)*defaultCells, fpBits+ctrBits),
+		d:              defaultD,
+		buckets:        perTable,
+		cellsPerBucket: defaultCells,
+		fpBits:         fpBits,
+		ctrBits:        ctrBits,
+		seed:           0xD1EF7,
+	}
+}
+
+func (f *Filter) cellIndex(table int, bucket uint64, cell int) int {
+	return (table*int(f.buckets)+int(bucket))*f.cellsPerBucket + cell
+}
+
+func (f *Filter) getCell(idx int) (fp, ctr uint64) {
+	v := f.cells.Get(idx)
+	return v >> f.ctrBits, v & hashutil.Mask(f.ctrBits)
+}
+
+func (f *Filter) setCell(idx int, fp, ctr uint64) {
+	f.cells.Set(idx, fp<<f.ctrBits|ctr)
+}
+
+// candidates returns the key's bucket in each subtable plus its
+// fingerprint.
+func (f *Filter) candidates(key uint64) ([]uint64, uint64) {
+	h := hashutil.MixSeed(key, f.seed)
+	fp := hashutil.Fingerprint(h, f.fpBits)
+	bs := make([]uint64, f.d)
+	for i := 0; i < f.d; i++ {
+		bs[i] = hashutil.Reduce(hashutil.MixSeed(h, uint64(i)+1), f.buckets)
+	}
+	return bs, fp
+}
+
+// findCell locates the cell holding fp among the candidate buckets.
+func (f *Filter) findCell(bs []uint64, fp uint64) (int, bool) {
+	for t, b := range bs {
+		for c := 0; c < f.cellsPerBucket; c++ {
+			idx := f.cellIndex(t, b, c)
+			if gotFP, _ := f.getCell(idx); gotFP == fp {
+				return idx, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Add inserts delta occurrences of key. Returns ErrFull if all candidate
+// buckets are full, and leaves the count saturated (stuck) if the
+// counter overflows, as with fixed-width counters generally.
+func (f *Filter) Add(key uint64, delta uint64) error {
+	bs, fp := f.candidates(key)
+	maxCtr := hashutil.Mask(f.ctrBits)
+	if idx, ok := f.findCell(bs, fp); ok {
+		_, ctr := f.getCell(idx)
+		nc := ctr + delta
+		if nc > maxCtr || nc < ctr {
+			nc = maxCtr
+		}
+		f.setCell(idx, fp, nc)
+		return nil
+	}
+	// Place in the least-loaded candidate bucket, leftmost on ties.
+	bestTable, bestLoad := -1, f.cellsPerBucket+1
+	for t, b := range bs {
+		load := 0
+		for c := 0; c < f.cellsPerBucket; c++ {
+			if gotFP, _ := f.getCell(f.cellIndex(t, b, c)); gotFP != 0 {
+				load++
+			}
+		}
+		if load < bestLoad {
+			bestLoad = load
+			bestTable = t
+		}
+	}
+	if bestLoad >= f.cellsPerBucket {
+		return core.ErrFull
+	}
+	for c := 0; c < f.cellsPerBucket; c++ {
+		idx := f.cellIndex(bestTable, bs[bestTable], c)
+		if gotFP, _ := f.getCell(idx); gotFP == 0 {
+			ctr := delta
+			if ctr > maxCtr {
+				ctr = maxCtr
+			}
+			f.setCell(idx, fp, ctr)
+			f.n++
+			return nil
+		}
+	}
+	return core.ErrFull
+}
+
+// Insert adds one occurrence of key.
+func (f *Filter) Insert(key uint64) error { return f.Add(key, 1) }
+
+// Remove deletes delta occurrences; the cell is freed when its counter
+// reaches zero. Saturated counters stick (cannot be decremented safely).
+func (f *Filter) Remove(key uint64, delta uint64) error {
+	bs, fp := f.candidates(key)
+	idx, ok := f.findCell(bs, fp)
+	if !ok {
+		return core.ErrNotFound
+	}
+	_, ctr := f.getCell(idx)
+	if ctr == hashutil.Mask(f.ctrBits) {
+		return nil // stuck at saturation
+	}
+	if delta >= ctr {
+		f.setCell(idx, 0, 0)
+		f.n--
+		return nil
+	}
+	f.setCell(idx, fp, ctr-delta)
+	return nil
+}
+
+// Delete removes one occurrence of key.
+func (f *Filter) Delete(key uint64) error { return f.Remove(key, 1) }
+
+// Count returns the multiplicity of key (0 if absent).
+func (f *Filter) Count(key uint64) uint64 {
+	bs, fp := f.candidates(key)
+	if idx, ok := f.findCell(bs, fp); ok {
+		_, ctr := f.getCell(idx)
+		return ctr
+	}
+	return 0
+}
+
+// Contains reports whether key may be present.
+func (f *Filter) Contains(key uint64) bool { return f.Count(key) > 0 }
+
+// Len returns the number of distinct stored fingerprints.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBits returns the table footprint in bits.
+func (f *Filter) SizeBits() int { return f.cells.SizeBits() }
+
+var (
+	_ core.CountingFilter  = (*Filter)(nil)
+	_ core.DeletableFilter = (*Filter)(nil)
+)

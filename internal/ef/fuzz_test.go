@@ -1,0 +1,57 @@
+package ef
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzRoundTripAndSearch encodes arbitrary monotone sequences and checks
+// access, successor, and range emptiness against the plain slice.
+func FuzzRoundTripAndSearch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 200})
+	f.Add([]byte{0, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := make([]uint64, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			vals = append(vals, uint64(raw[i])<<8|uint64(raw[i+1]))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		const universe = 1 << 16
+		s := New(vals, universe)
+		for i, v := range vals {
+			if got := s.Get(i); got != v {
+				t.Fatalf("Get(%d) = %d, want %d", i, got, v)
+			}
+		}
+		naiveSucc := func(x uint64) int {
+			return sort.Search(len(vals), func(i int) bool { return vals[i] >= x })
+		}
+		// Probe around every value plus fixed points.
+		probes := []uint64{0, universe - 1, universe / 2}
+		for _, v := range vals {
+			probes = append(probes, v)
+			if v > 0 {
+				probes = append(probes, v-1)
+			}
+			if v+1 < universe {
+				probes = append(probes, v+1)
+			}
+		}
+		for _, x := range probes {
+			if got, want := s.SuccessorIndex(x), naiveSucc(x); got != want {
+				t.Fatalf("SuccessorIndex(%d) = %d, want %d (vals %v)", x, got, want, vals)
+			}
+		}
+		for i := 0; i+1 < len(probes); i += 2 {
+			a, b := probes[i], probes[i+1]
+			if a > b {
+				a, b = b, a
+			}
+			j := naiveSucc(a)
+			wantEmpty := j >= len(vals) || vals[j] > b
+			if got := s.RangeEmpty(a, b); got != wantEmpty {
+				t.Fatalf("RangeEmpty(%d,%d) = %v, want %v", a, b, got, wantEmpty)
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// small runs every experiment at reduced scale: primarily a smoke test
+// that each regenerates its tables, with shape assertions on the ones
+// whose claims are deterministic enough to check cheaply.
+const smallScale = 0.05
+
+func TestAllRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 21 { // E1-E15 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 21", len(exps))
+	}
+	for i, e := range exps[:15] {
+		if e.ID != "E"+itoa(i+1) {
+			t.Errorf("experiment %d has ID %s", i, e.ID)
+		}
+	}
+	for _, e := range exps {
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Error("ByID(E7) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID(E99) should fail")
+	}
+}
+
+func runOne(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("missing %s", id)
+	}
+	tables := e.Run(Config{Scale: smallScale})
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var sb strings.Builder
+	for _, tb := range tables {
+		tb.Render(&sb)
+		if !strings.Contains(sb.String(), "--") {
+			t.Fatalf("%s produced an empty table", id)
+		}
+	}
+	return sb.String()
+}
+
+func TestE1SpaceShape(t *testing.T) {
+	out := runOne(t, "E1")
+	for _, name := range []string{"bloom", "quotient", "cuckoo", "xor", "ribbon", "prefix"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E1 missing filter %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestE2Runs(t *testing.T)  { runOne(t, "E2") }
+func TestE3Runs(t *testing.T)  { runOne(t, "E3") }
+func TestE4Runs(t *testing.T)  { runOne(t, "E4") }
+func TestE5Runs(t *testing.T)  { runOne(t, "E5") }
+func TestE6Runs(t *testing.T)  { runOne(t, "E6") }
+func TestE7Runs(t *testing.T)  { runOne(t, "E7") }
+func TestE8Runs(t *testing.T)  { runOne(t, "E8") }
+func TestE9Runs(t *testing.T)  { runOne(t, "E9") }
+func TestE10Runs(t *testing.T) { runOne(t, "E10") }
+func TestE11Runs(t *testing.T) { runOne(t, "E11") }
+func TestE12Runs(t *testing.T) { runOne(t, "E12") }
+func TestE13Runs(t *testing.T) { runOne(t, "E13") }
+func TestE14Runs(t *testing.T) { runOne(t, "E14") }
+func TestE15Runs(t *testing.T) { runOne(t, "E15") }
+func TestA1Runs(t *testing.T)  { runOne(t, "A1") }
+func TestA2Runs(t *testing.T)  { runOne(t, "A2") }
+func TestA3Runs(t *testing.T)  { runOne(t, "A3") }
+func TestA4Runs(t *testing.T)  { runOne(t, "A4") }
+func TestA5Runs(t *testing.T)  { runOne(t, "A5") }
+func TestA6Runs(t *testing.T)  { runOne(t, "A6") }

@@ -1,0 +1,116 @@
+// Package grafite implements Grafite (Costa, Ferragina & Vinciguerra,
+// §2.5 of the tutorial): a practical instantiation of the
+// Goswami-et-al. optimal range-emptiness construction. Keys are hashed
+// with a locality-preserving function — the key's block (its high bits
+// relative to the maximum query length) is hashed, while the offset
+// within the block is kept verbatim — and the resulting codes are sorted
+// and stored in an Elias–Fano sequence. A range query touches at most
+// two blocks, so it maps to at most two contiguous code intervals whose
+// emptiness the Elias–Fano sequence answers exactly.
+//
+// Because hashing is per-block, a query correlated with the keys (landing
+// just next to them) gains no advantage: its image is uniform in the
+// reduced universe. This is the robustness under key-query correlation
+// the tutorial highlights. The price: keys must be integers (the hash
+// must preserve integer locality), and the structure is static.
+package grafite
+
+import (
+	"math/bits"
+	"sort"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/ef"
+	"beyondbloom/internal/hashutil"
+)
+
+// Filter is an immutable Grafite range filter.
+type Filter struct {
+	codes     *ef.Sequence
+	blockBits uint   // log2 of the block size (max query length)
+	numBlocks uint64 // blocks in the reduced universe
+	seed      uint64
+	n         int
+}
+
+// New builds a Grafite filter over keys supporting queries up to
+// 2^maxRangeLog long at false-positive rate about epsilon.
+func New(keys []uint64, maxRangeLog uint, epsilon float64) *Filter {
+	if maxRangeLog < 1 || maxRangeLog > 32 {
+		panic("grafite: maxRangeLog must be in [1,32]")
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		panic("grafite: epsilon must be in (0,1)")
+	}
+	n := len(keys)
+	// Reduced universe M = n * L / epsilon, rounded so M/L is a whole
+	// number of blocks.
+	blockSize := uint64(1) << maxRangeLog
+	numBlocks := uint64(float64(n)/epsilon) + 1
+	// Keep block count comfortably above n so block collisions are rare.
+	if numBlocks < uint64(n)*2 {
+		numBlocks = uint64(n) * 2
+	}
+	// Round up to a power of two for cheap masking.
+	numBlocks = 1 << uint(bits.Len64(numBlocks-1))
+	f := &Filter{
+		blockBits: maxRangeLog,
+		numBlocks: numBlocks,
+		seed:      0x6AF17E,
+		n:         n,
+	}
+	codes := make([]uint64, n)
+	for i, k := range keys {
+		codes[i] = f.code(k)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	f.codes = ef.New(codes, numBlocks*blockSize)
+	return f
+}
+
+// code maps a key into the reduced universe: hash of its block, offset
+// preserved.
+func (f *Filter) code(key uint64) uint64 {
+	block := key >> f.blockBits
+	offset := key & hashutil.Mask(f.blockBits)
+	hashed := hashutil.MixSeed(block, f.seed) & (f.numBlocks - 1)
+	return hashed<<f.blockBits | offset
+}
+
+// MayContainRange reports whether [lo, hi] may contain a key. Ranges
+// longer than the configured maximum are answered conservatively (true).
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		return false
+	}
+	if f.n == 0 {
+		return false
+	}
+	if hi-lo >= uint64(1)<<f.blockBits {
+		return true // beyond the provisioned query length
+	}
+	loBlock, hiBlock := lo>>f.blockBits, hi>>f.blockBits
+	if loBlock == hiBlock {
+		return !f.codes.RangeEmpty(f.code(lo), f.code(hi))
+	}
+	// The range straddles one block boundary: two code intervals.
+	blockEnd := loBlock<<f.blockBits | hashutil.Mask(f.blockBits)
+	return !f.codes.RangeEmpty(f.code(lo), f.code(blockEnd)) ||
+		!f.codes.RangeEmpty(f.code(hiBlock<<f.blockBits), f.code(hi))
+}
+
+// Contains is a point query.
+func (f *Filter) Contains(key uint64) bool {
+	if f.n == 0 {
+		return false
+	}
+	return f.codes.Contains(f.code(key))
+}
+
+// Len returns the number of encoded keys.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBits returns the Elias–Fano footprint.
+func (f *Filter) SizeBits() int { return f.codes.SizeBits() }
+
+var _ core.RangeFilter = (*Filter)(nil)

@@ -1,0 +1,130 @@
+package grafite
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestRangeNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(10000, 1)
+	f := New(keys, 10, 0.01)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		span := rng.Uint64()%1000 + 1
+		lo := k - rng.Uint64()%span
+		if lo > k {
+			lo = 0
+		}
+		hi := lo + span - 1
+		if hi < k {
+			hi = k
+		}
+		if hi-lo >= 1<<10 {
+			continue
+		}
+		if !f.MayContainRange(lo, hi) {
+			t.Fatalf("range [%d,%d] contains %d but reported empty", lo, hi, k)
+		}
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	keys := workload.Keys(10000, 3)
+	f := New(keys, 10, 0.01)
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative %d", k)
+		}
+	}
+	neg := workload.DisjointKeys(100000, 3)
+	if fpr := metrics.FPR(f, neg); fpr > 0.01 {
+		t.Errorf("point FPR %g", fpr)
+	}
+}
+
+func TestEmptyRangeFPRNearEpsilon(t *testing.T) {
+	keys := workload.Keys(20000, 5)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	f := New(keys, 12, 0.01)
+	qs := workload.UniformRanges(20000, 1<<8, ^uint64(0)-1<<9, 7)
+	var empties [][2]uint64
+	for _, q := range qs {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q.Lo })
+		if i >= len(sorted) || sorted[i] > q.Hi {
+			empties = append(empties, [2]uint64{q.Lo, q.Hi})
+		}
+	}
+	if fpr := metrics.RangeFPR(f, empties); fpr > 0.03 {
+		t.Errorf("range FPR %g, want near epsilon 0.01", fpr)
+	}
+}
+
+func TestRobustUnderCorrelation(t *testing.T) {
+	// The tutorial's Grafite headline: correlated queries (landing just
+	// past existing keys) see the same FPR as uniform ones.
+	keys := workload.Keys(20000, 9)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	f := New(keys, 12, 0.01)
+	qs := workload.CorrelatedRanges(keys, 20000, 16, 2, 11)
+	var empties [][2]uint64
+	for _, q := range qs {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q.Lo })
+		if i >= len(sorted) || sorted[i] > q.Hi {
+			empties = append(empties, [2]uint64{q.Lo, q.Hi})
+		}
+	}
+	if len(empties) < 1000 {
+		t.Skip("not enough empty correlated queries")
+	}
+	if fpr := metrics.RangeFPR(f, empties); fpr > 0.03 {
+		t.Errorf("correlated-range FPR %g — Grafite should stay near epsilon", fpr)
+	}
+}
+
+func TestOversizedRangeConservative(t *testing.T) {
+	keys := workload.Keys(100, 13)
+	f := New(keys, 8, 0.01)
+	if !f.MayContainRange(0, 1<<20) {
+		t.Fatal("oversized range must be answered true")
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(nil, 8, 0.01)
+	if f.Contains(5) || f.MayContainRange(1, 100) {
+		t.Fatal("empty filter claims content")
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	f := New(workload.Keys(10, 15), 8, 0.01)
+	if f.MayContainRange(10, 5) {
+		t.Fatal("inverted range must be empty")
+	}
+}
+
+func TestSpaceScalesWithEpsilon(t *testing.T) {
+	keys := workload.Keys(10000, 17)
+	loose := New(keys, 10, 0.1)
+	tight := New(keys, 10, 0.001)
+	if tight.SizeBits() <= loose.SizeBits() {
+		t.Errorf("tighter epsilon should cost more bits: %d vs %d", tight.SizeBits(), loose.SizeBits())
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	keys := workload.Keys(1<<20, 19)
+	f := New(keys, 10, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9E3779B97F4A7C15
+		f.MayContainRange(lo, lo+255)
+	}
+}

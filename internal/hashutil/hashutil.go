@@ -1,0 +1,163 @@
+// Package hashutil provides the hashing primitives shared by every filter
+// in this library: a 64-bit byte-string hash (an xxHash64 implementation),
+// integer finalizers (splitmix64 / Murmur3), seeded hash families built by
+// double hashing, and helpers for splitting hashes into quotient/remainder
+// fingerprints.
+//
+// All functions are deterministic for a given seed, so experiments are
+// reproducible run to run.
+package hashutil
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxHash64 prime constants.
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// Sum64 returns the 64-bit xxHash of b with the given seed.
+func Sum64(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
+			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
+			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
+			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	return acc * prime1
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	return acc*prime1 + prime4
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a fast, high-quality
+// bijective mixer suitable for hashing integer keys.
+func Mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Unmix64 inverts Mix64 (splitmix64 is a bijection). Used by structures
+// that need to recover the original key from a stored hash.
+func Unmix64(x uint64) uint64 {
+	x = (x ^ (x >> 31) ^ (x >> 62)) * 0x319642B2D24D8EC3
+	x = (x ^ (x >> 27) ^ (x >> 54)) * 0x96DE1B173F119089
+	x = x ^ (x >> 30) ^ (x >> 60)
+	return x - 0x9E3779B97F4A7C15
+}
+
+// MixSeed mixes an integer key with a seed. Distinct seeds give
+// effectively independent hash functions.
+func MixSeed(x, seed uint64) uint64 {
+	return Mix64(x ^ (seed * 0xA24BAED4963EE407))
+}
+
+// Fingerprint returns an f-bit nonzero fingerprint derived from h.
+// f must be in [1, 64]. The result is never zero so that zero can be used
+// as an empty-slot sentinel by table-based filters.
+func Fingerprint(h uint64, f uint) uint64 {
+	fp := h & maskBits(f)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+func maskBits(f uint) uint64 {
+	if f >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << f) - 1
+}
+
+// Mask returns a mask with the low f bits set (f in [0,64]).
+func Mask(f uint) uint64 { return maskBits(f) }
+
+// KHash derives the i-th hash of a k-independent family from two base
+// hashes using enhanced double hashing (Kirsch–Mitzenmacher): the family
+// h_i = h1 + i*h2 + i^2 behaves like independent hashes for Bloom-style
+// structures.
+func KHash(h1, h2 uint64, i uint) uint64 {
+	ii := uint64(i)
+	return h1 + ii*h2 + ii*ii
+}
+
+// SplitHash derives two base hashes from one 64-bit hash for use with
+// KHash. The halves are remixed so they are not trivially correlated.
+func SplitHash(h uint64) (h1, h2 uint64) {
+	h1 = h
+	h2 = Mix64(h) | 1 // odd, so it cycles through power-of-two tables
+	return
+}
+
+// U64Bytes serializes x little-endian for byte-oriented hashing.
+func U64Bytes(x uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	return b[:]
+}
+
+// Reduce maps a 64-bit hash uniformly onto [0, n) without division
+// (Lemire's multiply-shift reduction).
+func Reduce(h uint64, n uint64) uint64 {
+	hi, _ := bits.Mul64(h, n)
+	return hi
+}

@@ -1,0 +1,153 @@
+package hashutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSum64KnownVectors(t *testing.T) {
+	// Reference values computed with the canonical xxHash64 implementation.
+	cases := []struct {
+		in   string
+		seed uint64
+		want uint64
+	}{
+		{"", 0, 0xEF46DB3751D8E999},
+		{"a", 0, 0xD24EC4F1A98C6E5B},
+		{"abc", 0, 0x44BC2CF5AD770999},
+	}
+	for _, c := range cases {
+		if got := Sum64([]byte(c.in), c.seed); got != c.want {
+			t.Errorf("Sum64(%q, %d) = %#x, want %#x", c.in, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestSum64SeedChangesHash(t *testing.T) {
+	b := []byte("the quick brown fox")
+	if Sum64(b, 1) == Sum64(b, 2) {
+		t.Fatal("different seeds should give different hashes")
+	}
+}
+
+func TestSum64LongInputDeterministic(t *testing.T) {
+	// Exercises the 32-byte-block path: deterministic, seed- and
+	// content-sensitive.
+	long := make([]byte, 1000)
+	for i := range long {
+		long[i] = byte(i * 31)
+	}
+	h1 := Sum64(long, 7)
+	if h2 := Sum64(long, 7); h2 != h1 {
+		t.Fatal("hash not deterministic")
+	}
+	if Sum64(long, 8) == h1 {
+		t.Fatal("seed ignored on long input")
+	}
+	long[999]++
+	if Sum64(long, 7) == h1 {
+		t.Fatal("trailing byte ignored on long input")
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	f := func(x uint64) bool { return Unmix64(Mix64(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMix64NotIdentity(t *testing.T) {
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if Mix64(x) == x {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("Mix64 fixed points in small range: %d", same)
+	}
+}
+
+func TestFingerprintNonzero(t *testing.T) {
+	f := func(h uint64) bool {
+		for _, bitsN := range []uint{1, 4, 8, 16, 32, 64} {
+			fp := Fingerprint(h, bitsN)
+			if fp == 0 {
+				return false
+			}
+			if bitsN < 64 && fp >= 1<<bitsN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceInRange(t *testing.T) {
+	f := func(h uint64, n uint32) bool {
+		if n == 0 {
+			return true
+		}
+		return Reduce(h, uint64(n)) < uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceUniformity(t *testing.T) {
+	const n, trials = 16, 1 << 16
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[Reduce(Mix64(uint64(i)), n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d far from expected %d", i, c, want)
+		}
+	}
+}
+
+func TestKHashDistinct(t *testing.T) {
+	h1, h2 := SplitHash(Mix64(12345))
+	seen := map[uint64]bool{}
+	for i := uint(0); i < 16; i++ {
+		seen[KHash(h1, h2, i)%(1<<20)] = true
+	}
+	if len(seen) < 14 {
+		t.Errorf("KHash family collapsed: only %d distinct of 16", len(seen))
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	if Mask(0) != 0 {
+		t.Error("Mask(0) should be 0")
+	}
+	if Mask(64) != ^uint64(0) {
+		t.Error("Mask(64) should be all ones")
+	}
+	if Mask(8) != 0xFF {
+		t.Error("Mask(8) should be 0xFF")
+	}
+}
+
+func BenchmarkSum64_8B(b *testing.B) {
+	buf := make([]byte, 8)
+	b.SetBytes(8)
+	for i := 0; i < b.N; i++ {
+		Sum64(buf, uint64(i))
+	}
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Mix64(uint64(i))
+	}
+	_ = acc
+}

@@ -1,0 +1,124 @@
+package infini
+
+import (
+	"errors"
+	"testing"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestNoFalseNegativesAcrossExpansions(t *testing.T) {
+	f := New(8) // 256 buckets; will expand ~8 times for 50k keys
+	keys := workload.Keys(50000, 1)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Expansions() < 7 {
+		t.Fatalf("expected many expansions, got %d", f.Expansions())
+	}
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives after %d expansions", fn, f.Expansions())
+	}
+}
+
+func TestFPRStableAcrossExpansions(t *testing.T) {
+	// The InfiniFilter headline: FPR stays roughly flat as the filter
+	// doubles, unlike plain quotient-filter doubling.
+	f := New(10)
+	neg := workload.DisjointKeys(100000, 2)
+	var rates []float64
+	keyIdx := 0
+	keys := workload.Keys(1<<17, 2)
+	for target := 1 << 10; target <= 1<<16; target <<= 2 {
+		for keyIdx < target {
+			f.Insert(keys[keyIdx])
+			keyIdx++
+		}
+		rates = append(rates, metrics.FPR(f, neg))
+	}
+	first, last := rates[0], rates[len(rates)-1]
+	if first == 0 {
+		first = 1e-6
+	}
+	if last > first*8 {
+		t.Errorf("FPR grew from %g to %g across expansions — not stable", first, last)
+	}
+	if last > 0.01 {
+		t.Errorf("final FPR %g too high for 16-bit fresh fingerprints", last)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := New(6)
+	keys := workload.Keys(2000, 3) // forces expansions
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	for _, k := range keys[:1000] {
+		if err := f.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fn := metrics.FalseNegatives(f, keys[1000:]); fn != 0 {
+		t.Fatalf("%d false negatives among survivors", fn)
+	}
+	if err := f.Delete(workload.DisjointKeys(1, 3)[0]); !errors.Is(err, core.ErrNotFound) {
+		t.Logf("delete of absent key: %v (collision possible)", err)
+	}
+}
+
+func TestVoidHandling(t *testing.T) {
+	// Tiny fresh fingerprints aren't configurable, so force voids by
+	// expanding more than FreshBits times: start at q=1 and insert
+	// enough keys that entries survive >16 doublings.
+	f := New(1)
+	keys := workload.Keys(300000, 5)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	// q grew from 1 to ~19: early entries crossed 16 expansions.
+	if f.Expansions() <= int(FreshBits) {
+		t.Skip("not enough expansions to create voids")
+	}
+	if f.Voids() == 0 {
+		t.Error("expected void entries after exhausting fingerprint bits")
+	}
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives with voids present", fn)
+	}
+}
+
+func TestSizeGrowsLinearly(t *testing.T) {
+	f := New(8)
+	keys := workload.Keys(100000, 7)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	perKey := float64(f.SizeBits()) / float64(f.Len())
+	if perKey > 30 {
+		t.Errorf("bits/entry = %f, want around FreshBits+overhead", perKey)
+	}
+}
+
+func BenchmarkInsertWithExpansion(b *testing.B) {
+	f := New(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(8)
+	for i := 0; i < 1<<20; i++ {
+		f.Insert(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

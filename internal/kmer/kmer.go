@@ -1,0 +1,190 @@
+// Package kmer implements the computational-biology substrate of §3.2:
+// 2-bit DNA encoding, canonical k-mers, a Squeakr-style k-mer counter on
+// the counting quotient filter, the probabilistic de Bruijn graph of Pell
+// et al. (k-mer set in a Bloom filter), the exact navigational
+// representation of Chikhi & Rizk (Bloom plus the critical false
+// positives), and Salikhov et al.'s cascading-Bloom replacement for the
+// exact table.
+package kmer
+
+import (
+	"fmt"
+
+	"beyondbloom/internal/quotient"
+)
+
+// Encode packs a DNA string (ACGT, case-sensitive) of length <= 31 into
+// a uint64, 2 bits per base.
+func Encode(seq []byte) (uint64, error) {
+	if len(seq) > 31 {
+		return 0, fmt.Errorf("kmer: length %d exceeds 31", len(seq))
+	}
+	var v uint64
+	for _, b := range seq {
+		c, err := baseCode(b)
+		if err != nil {
+			return 0, err
+		}
+		v = v<<2 | c
+	}
+	return v, nil
+}
+
+func baseCode(b byte) (uint64, error) {
+	switch b {
+	case 'A':
+		return 0, nil
+	case 'C':
+		return 1, nil
+	case 'G':
+		return 2, nil
+	case 'T':
+		return 3, nil
+	}
+	return 0, fmt.Errorf("kmer: invalid base %q", b)
+}
+
+// Decode unpacks a k-mer code back into its DNA string.
+func Decode(v uint64, k int) []byte {
+	out := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = "ACGT"[v&3]
+		v >>= 2
+	}
+	return out
+}
+
+// RevComp returns the reverse complement of a k-mer code.
+func RevComp(v uint64, k int) uint64 {
+	var rc uint64
+	for i := 0; i < k; i++ {
+		rc = rc<<2 | (v & 3) ^ 3 // complement: A<->T (0<->3), C<->G (1<->2)
+		v >>= 2
+	}
+	return rc
+}
+
+// Canonical returns the smaller of a k-mer and its reverse complement —
+// the strand-independent representative used throughout genomics tools.
+func Canonical(v uint64, k int) uint64 {
+	if rc := RevComp(v, k); rc < v {
+		return rc
+	}
+	return v
+}
+
+// Iterate calls fn for every canonical k-mer of seq. Invalid bases are
+// skipped by restarting after them.
+func Iterate(seq []byte, k int, fn func(code uint64)) {
+	if k < 1 || k > 31 {
+		panic("kmer: k must be in [1,31]")
+	}
+	mask := uint64(1)<<(2*k) - 1
+	var cur uint64
+	valid := 0
+	for _, b := range seq {
+		c, err := baseCode(b)
+		if err != nil {
+			valid = 0
+			cur = 0
+			continue
+		}
+		cur = (cur<<2 | c) & mask
+		valid++
+		if valid >= k {
+			fn(Canonical(cur, k))
+		}
+	}
+}
+
+// Counter is a Squeakr-style k-mer counter: canonical k-mers counted in
+// a counting quotient filter, supporting exact-or-overcount queries and
+// iteration. The CQF's variable-length counters make highly repetitive
+// genomes (skewed k-mer abundance) cheap — the tutorial's §2.6/§3.2
+// motivation.
+type Counter struct {
+	K         int
+	cqf       *quotient.Counting
+	exactBits uint // nonzero in exact mode: codes pre-mixed bijectively
+}
+
+// NewCounter returns a counter for n distinct k-mers at error rate
+// delta.
+func NewCounter(k, n int, delta float64) *Counter {
+	if k < 1 || k > 31 {
+		panic("kmer: k must be in [1,31]")
+	}
+	return &Counter{K: k, cqf: quotient.NewCountingForCapacity(n, delta)}
+}
+
+// NewExactCounter returns a counter whose fingerprint covers the full
+// 2k-bit k-mer code, so counts are exact — Squeakr's exact mode, and the
+// property Mantis relies on ("an exact mapping by employing fingerprints
+// that match the original key size"). Codes are spread over the quotient
+// space by an odd-multiplier bijection on the 2k-bit domain (invertible,
+// hence still exact).
+func NewExactCounter(k, n int) *Counter {
+	if k < 2 || k > 29 {
+		panic("kmer: exact counter needs k in [2,29]")
+	}
+	q := uint(1)
+	for float64(uint64(1)<<q)*0.95 < float64(n)*1.1 {
+		q++
+	}
+	if q >= uint(2*k)-1 {
+		q = uint(2*k) - 2
+	}
+	r := uint(2*k) - q
+	c := &Counter{K: k, cqf: quotient.NewCountingIdentity(q, r)}
+	c.exactBits = uint(2 * k)
+	return c
+}
+
+// exactMixer is an odd constant; multiplication by it modulo 2^(2k) is a
+// bijection, spreading consecutive codes across quotients.
+const exactMixer = 0x9E3779B97F4A7C15
+
+func (c *Counter) mix(code uint64) uint64 {
+	if c.exactBits == 0 {
+		return code
+	}
+	return (code * exactMixer) & (uint64(1)<<c.exactBits - 1)
+}
+
+// AddRead counts every canonical k-mer of the read.
+func (c *Counter) AddRead(read []byte) error {
+	var err error
+	Iterate(read, c.K, func(code uint64) {
+		if err == nil {
+			err = c.cqf.Add(c.mix(code), 1)
+		}
+	})
+	return err
+}
+
+// Count returns the abundance of a k-mer given as a string.
+func (c *Counter) Count(seq []byte) (uint64, error) {
+	if len(seq) != c.K {
+		return 0, fmt.Errorf("kmer: query length %d != k %d", len(seq), c.K)
+	}
+	code, err := Encode(seq)
+	if err != nil {
+		return 0, err
+	}
+	return c.CountCode(Canonical(code, c.K)), nil
+}
+
+// CountCode returns the abundance of a canonical k-mer code.
+func (c *Counter) CountCode(code uint64) uint64 { return c.cqf.Count(c.mix(code)) }
+
+// Distinct returns the number of distinct k-mers seen.
+func (c *Counter) Distinct() int { return c.cqf.Distinct() }
+
+// Total returns the total k-mer occurrences counted.
+func (c *Counter) Total() uint64 { return c.cqf.Total() }
+
+// SizeBits returns the CQF footprint.
+func (c *Counter) SizeBits() int { return c.cqf.SizeBits() }
+
+// Pairs iterates all (canonical code, count) pairs.
+func (c *Counter) Pairs() []struct{ Fingerprint, Count uint64 } { return c.cqf.Pairs() }

@@ -1,0 +1,349 @@
+package kmer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beyondbloom/internal/workload"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	cases := []string{"A", "ACGT", "TTTTTTT", "GATTACA", "ACGTACGTACGTACGTACGTACGTACGTACG"}
+	for _, c := range cases {
+		code, err := Encode([]byte(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := string(Decode(code, len(c))); got != c {
+			t.Fatalf("roundtrip %q -> %q", c, got)
+		}
+	}
+	if _, err := Encode([]byte("ACGTN")); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+	if _, err := Encode(make([]byte, 32)); err == nil {
+		t.Fatal("over-long k-mer accepted")
+	}
+}
+
+func TestRevCompProperties(t *testing.T) {
+	// revcomp(revcomp(x)) == x for all k-mers.
+	f := func(raw uint32, kRaw uint8) bool {
+		k := int(kRaw%28) + 3
+		code := uint64(raw) & (1<<(2*k) - 1)
+		return RevComp(RevComp(code, k), k) == code
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Known pair: revcomp(ACGT) == ACGT (palindrome).
+	code, _ := Encode([]byte("ACGT"))
+	if RevComp(code, 4) != code {
+		t.Error("ACGT should be its own reverse complement")
+	}
+	// revcomp(AAAA) == TTTT.
+	a4, _ := Encode([]byte("AAAA"))
+	t4, _ := Encode([]byte("TTTT"))
+	if RevComp(a4, 4) != t4 {
+		t.Error("revcomp(AAAA) != TTTT")
+	}
+}
+
+func TestCanonicalStrandIndependent(t *testing.T) {
+	g := workload.DNA(1000, 1)
+	k := 11
+	Iterate(g, k, func(code uint64) {
+		if Canonical(RevComp(code, k), k) != code {
+			t.Fatal("canonical not strand independent")
+		}
+	})
+}
+
+func TestIterateCountsAndSkipsInvalid(t *testing.T) {
+	n := 0
+	Iterate([]byte("ACGTACGT"), 4, func(uint64) { n++ })
+	if n != 5 {
+		t.Fatalf("got %d k-mers from 8bp at k=4, want 5", n)
+	}
+	n = 0
+	Iterate([]byte("ACGTNACGT"), 4, func(uint64) { n++ })
+	if n != 2 {
+		t.Fatalf("invalid base handling: got %d k-mers, want 2", n)
+	}
+}
+
+func TestCounterMatchesNaive(t *testing.T) {
+	genome := workload.DNA(20000, 3)
+	reads := workload.Reads(genome, 500, 100, 0, 5)
+	k := 15
+	c := NewCounter(k, 60000, 1.0/1024)
+	naive := map[uint64]uint64{}
+	for _, r := range reads {
+		if err := c.AddRead(r); err != nil {
+			t.Fatal(err)
+		}
+		Iterate(r, k, func(code uint64) { naive[code]++ })
+	}
+	under := 0
+	for code, want := range naive {
+		if got := c.CountCode(code); got < want {
+			under++
+		}
+	}
+	if under > 0 {
+		t.Fatalf("%d k-mers undercounted", under)
+	}
+	if c.Total() != sumValues(naive) {
+		t.Fatalf("Total = %d, want %d", c.Total(), sumValues(naive))
+	}
+}
+
+func sumValues(m map[uint64]uint64) uint64 {
+	var s uint64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TestExactCounterIsExact(t *testing.T) {
+	genome := workload.DNA(30000, 7)
+	reads := workload.Reads(genome, 800, 100, 0.01, 9)
+	k := 17
+	c := NewExactCounter(k, 100000)
+	naive := map[uint64]uint64{}
+	for _, r := range reads {
+		if err := c.AddRead(r); err != nil {
+			t.Fatal(err)
+		}
+		Iterate(r, k, func(code uint64) { naive[code]++ })
+	}
+	for code, want := range naive {
+		if got := c.CountCode(code); got != want {
+			t.Fatalf("exact counter wrong: code %d count %d want %d", code, got, want)
+		}
+	}
+	// Absent k-mers must count zero.
+	probe := workload.DNA(1000, 99)
+	Iterate(probe, k, func(code uint64) {
+		if _, present := naive[code]; !present {
+			if c.CountCode(code) != 0 {
+				t.Fatalf("phantom count for absent k-mer")
+			}
+		}
+	})
+}
+
+func collectCodes(genome []byte, k int) []uint64 {
+	set := map[uint64]struct{}{}
+	Iterate(genome, k, func(code uint64) { set[code] = struct{}{} })
+	out := make([]uint64, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestDeBruijnNavigation(t *testing.T) {
+	genome := workload.DNA(5000, 11)
+	k := 15
+	codes := collectCodes(genome, k)
+	g := NewDeBruijn(k, codes, 12)
+	// Every true k-mer present; consecutive genome k-mers adjacent.
+	for _, c := range codes {
+		if !g.Present(c) {
+			t.Fatal("true k-mer missing")
+		}
+	}
+	var prev uint64
+	first := true
+	adjacencyChecked := 0
+	Iterate(genome[:500], k, func(code uint64) {
+		if !first {
+			found := false
+			for _, nb := range g.Neighbors(prev) {
+				if nb == code {
+					found = true
+				}
+			}
+			if !found && prev != code {
+				t.Fatalf("consecutive k-mers not adjacent in graph")
+			}
+			adjacencyChecked++
+		}
+		first = false
+		prev = code
+	})
+	if adjacencyChecked == 0 {
+		t.Fatal("no adjacency checked")
+	}
+}
+
+func TestCriticalFPRemovalMakesExact(t *testing.T) {
+	genome := workload.DNA(20000, 13)
+	k := 13
+	codes := collectCodes(genome, k)
+	g := NewDeBruijn(k, codes, 6) // coarse filter: plenty of FPs
+	cfps := g.CriticalFPs(codes)
+	if len(cfps) == 0 {
+		t.Skip("no critical FPs at this density")
+	}
+	g.InstallExactTable(cfps)
+	// Navigation is now exact: every neighbor of a true k-mer is true.
+	trueSet := map[uint64]bool{}
+	for _, c := range codes {
+		trueSet[c] = true
+	}
+	for _, c := range codes[:2000] {
+		for _, nb := range g.Neighbors(c) {
+			if !trueSet[nb] {
+				t.Fatalf("phantom neighbor survived critical-FP removal")
+			}
+		}
+	}
+}
+
+func TestCascadeMatchesExactTable(t *testing.T) {
+	genome := workload.DNA(20000, 17)
+	k := 13
+	codes := collectCodes(genome, k)
+	g1 := NewDeBruijn(k, codes, 6)
+	cfps := g1.CriticalFPs(codes)
+	if len(cfps) == 0 {
+		t.Skip("no critical FPs")
+	}
+	tableBits := g1.InstallExactTable(cfps)
+
+	g2 := NewDeBruijn(k, codes, 6)
+	cascadeBits := g2.InstallCascade(codes, cfps, 10)
+
+	// Same navigational behaviour on true k-mers and their extensions.
+	trueSet := map[uint64]bool{}
+	for _, c := range codes {
+		trueSet[c] = true
+	}
+	for _, c := range codes[:2000] {
+		n1 := g1.Neighbors(c)
+		n2 := g2.Neighbors(c)
+		if len(n1) != len(n2) {
+			t.Fatalf("cascade diverges from exact table: %d vs %d neighbors", len(n1), len(n2))
+		}
+	}
+	if cascadeBits >= tableBits {
+		t.Logf("cascade bits %d vs table %d (cascade should usually win at scale)", cascadeBits, tableBits)
+	}
+}
+
+func TestComponentsDegradeWithFPR(t *testing.T) {
+	// A linear genome should be ~1 component. With a generous filter the
+	// structure holds; the metric exists for E12's FPR sweep.
+	genome := workload.DNA(3000, 19)
+	k := 15
+	codes := collectCodes(genome, k)
+	g := NewDeBruijn(k, codes, 12)
+	comps := g.Components(codes)
+	if comps > len(codes)/10 {
+		t.Errorf("too many components (%d) for a linear genome", comps)
+	}
+}
+
+func BenchmarkAddRead(b *testing.B) {
+	genome := workload.DNA(100000, 21)
+	reads := workload.Reads(genome, 1000, 150, 0.01, 23)
+	c := NewCounter(21, 1<<20, 1.0/256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AddRead(reads[i%len(reads)])
+	}
+}
+
+func TestWeightedSelfCorrection(t *testing.T) {
+	// A coarse node CQF overcounts some k-mers; the edge invariant should
+	// pull most corrected counts back to the truth.
+	genome := workload.DNA(30000, 51)
+	reads := workload.Reads(genome, 1500, 80, 0, 53)
+	k := 13
+	w := NewWeighted(k, 200000, 1.0/16) // deliberately coarse: collisions
+	naive := map[uint64]uint64{}
+	for _, r := range reads {
+		if err := w.AddRead(r); err != nil {
+			t.Fatal(err)
+		}
+		Iterate(r, k, func(code uint64) { naive[code]++ })
+	}
+	rawWrong, corrWrong, under := 0, 0, 0
+	for code, want := range naive {
+		if w.RawCount(code) != want {
+			rawWrong++
+		}
+		got := w.Count(code)
+		if got != want {
+			corrWrong++
+		}
+		if got < want {
+			under++
+		}
+	}
+	if under > 0 {
+		t.Fatalf("%d corrected counts undercount (invariant must never undercount)", under)
+	}
+	if rawWrong == 0 {
+		t.Skip("no raw overcounts at this density")
+	}
+	if corrWrong*2 > rawWrong {
+		t.Errorf("correction fixed too little: raw wrong %d, corrected wrong %d", rawWrong, corrWrong)
+	}
+}
+
+func TestWeightedExactOnCleanData(t *testing.T) {
+	genome := workload.DNA(5000, 55)
+	reads := workload.Reads(genome, 300, 60, 0, 57)
+	k := 13
+	w := NewWeighted(k, 50000, 1.0/1024)
+	naive := map[uint64]uint64{}
+	for _, r := range reads {
+		w.AddRead(r)
+		Iterate(r, k, func(code uint64) { naive[code]++ })
+	}
+	wrong := 0
+	for code, want := range naive {
+		if w.Count(code) != want {
+			wrong++
+		}
+	}
+	if wrong > len(naive)/100 {
+		t.Errorf("%d/%d wrong corrected counts with a fine CQF", wrong, len(naive))
+	}
+	// Absent k-mers are absent.
+	foreign := workload.DNA(2000, 59)
+	Iterate(foreign, k, func(code uint64) {
+		if _, present := naive[code]; !present && w.Present(code) {
+			// Possible via CQF collision; must be rare.
+			t.Logf("phantom presence for foreign k-mer (collision)")
+		}
+	})
+}
+
+func TestWeightedRemove(t *testing.T) {
+	w := NewWeighted(13, 1000, 1.0/1024)
+	read := workload.DNA(100, 61)
+	w.AddRead(read)
+	var first uint64
+	got := false
+	Iterate(read, 13, func(code uint64) {
+		if !got {
+			first = code
+			got = true
+		}
+	})
+	before := w.RawCount(first)
+	if before == 0 {
+		t.Fatal("k-mer missing")
+	}
+	if err := w.Remove(first, before); err != nil {
+		t.Fatal(err)
+	}
+	if w.RawCount(first) != 0 {
+		t.Fatal("remove failed")
+	}
+}

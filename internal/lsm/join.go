@@ -1,0 +1,74 @@
+package lsm
+
+import (
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/xorfilter"
+)
+
+// JoinStats reports the effect of filter pushdown on a selective equality
+// join (§3.1: "build a filter over qualified join keys from the smaller
+// table ... preemptively discard rows with non-matching join keys").
+type JoinStats struct {
+	ProbeRows    int // rows scanned from the large side
+	PassedFilter int // rows surviving the filter (sent to the join)
+	Matched      int // rows with a genuine partner
+	FilterBits   int
+}
+
+// FilterKind selects the join filter implementation.
+type FilterKind int
+
+const (
+	// JoinBloom uses a Bloom filter (the traditional choice).
+	JoinBloom FilterKind = iota
+	// JoinXor uses a static XOR filter — applicable because the build
+	// side's key set is known before the probe side is scanned.
+	JoinXor
+)
+
+// FilteredJoin performs a semi-join: it returns the probe-side rows whose
+// join key exists in buildKeys, using a filter to discard non-matching
+// rows early, plus statistics.
+func FilteredJoin(buildKeys, probeKeys []uint64, kind FilterKind, epsilon float64) ([]uint64, JoinStats, error) {
+	var contains func(uint64) bool
+	var bits int
+	switch kind {
+	case JoinBloom:
+		bf := bloom.New(len(buildKeys), epsilon)
+		for _, k := range buildKeys {
+			bf.Insert(k)
+		}
+		contains = bf.Contains
+		bits = bf.SizeBits()
+	case JoinXor:
+		fpBits := uint(1)
+		for ; fpBits < 32; fpBits++ {
+			if 1.0/float64(uint64(1)<<fpBits) <= epsilon {
+				break
+			}
+		}
+		xf, err := xorfilter.New(buildKeys, fpBits)
+		if err != nil {
+			return nil, JoinStats{}, err
+		}
+		contains = xf.Contains
+		bits = xf.SizeBits()
+	}
+	buildSet := make(map[uint64]struct{}, len(buildKeys))
+	for _, k := range buildKeys {
+		buildSet[k] = struct{}{}
+	}
+	stats := JoinStats{ProbeRows: len(probeKeys), FilterBits: bits}
+	var out []uint64
+	for _, k := range probeKeys {
+		if !contains(k) {
+			continue
+		}
+		stats.PassedFilter++
+		if _, ok := buildSet[k]; ok {
+			stats.Matched++
+			out = append(out, k)
+		}
+	}
+	return out, stats, nil
+}

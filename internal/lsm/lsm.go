@@ -1,0 +1,601 @@
+// Package lsm implements the storage-engine substrate of §3.1: a
+// log-structured merge-tree with an in-memory memtable, immutable sorted
+// runs on a simulated block device that counts I/Os, leveled compaction
+// with a configurable size ratio, and pluggable per-run filters.
+//
+// The filter policies reproduce the tutorial's storyline:
+//
+//   - PolicyNone: every point lookup probes every overlapping run — the
+//     baseline cost O(levels) I/Os per miss.
+//   - PolicyBloom: a Bloom filter per run with uniform bits/key — misses
+//     cost O(ε·levels).
+//   - PolicyMonkey: Monkey's allocation — lower FPRs for smaller levels,
+//     making the sum of FPRs converge so misses cost O(ε) I/Os.
+//   - PolicyMaplet: a single global maplet maps each key to the run
+//     holding it (Chucky/SlimDB style) — lookups probe ~one run.
+//
+// Range scans optionally use a per-run range filter (SuRF, Rosetta or
+// Grafite built at flush/compaction time) to skip runs whose key range
+// matches but whose contents don't (experiment E11).
+package lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/quotient"
+)
+
+// Entry is a key-value record. Tombstones mark deletions until
+// compaction discards them.
+type Entry struct {
+	Key       uint64
+	Value     uint64
+	Tombstone bool
+}
+
+// Device simulates block storage: it stores nothing (runs keep their
+// entries in memory) but counts the I/Os a real device would serve.
+type Device struct {
+	Reads  int
+	Writes int
+}
+
+// entriesPerBlock sets the simulated block granularity for write I/O
+// accounting.
+const entriesPerBlock = 128
+
+// FilterPolicy selects the filtering strategy.
+type FilterPolicy int
+
+const (
+	// PolicyNone disables filters.
+	PolicyNone FilterPolicy = iota
+	// PolicyBloom gives every run a Bloom filter with uniform bits/key.
+	PolicyBloom
+	// PolicyMonkey allocates exponentially lower false-positive rates to
+	// smaller levels (Monkey).
+	PolicyMonkey
+	// PolicyMaplet replaces per-run filters with one global maplet
+	// mapping keys to runs (Chucky/SlimDB).
+	PolicyMaplet
+)
+
+// RangeFilterBuilder constructs a range filter over a run's keys; nil
+// disables range filtering.
+type RangeFilterBuilder func(keys []uint64) core.RangeFilter
+
+// CompactionPolicy selects the merge strategy (§3.1's design space).
+type CompactionPolicy int
+
+const (
+	// Leveling keeps one run per level: each flush merges greedily, so
+	// reads probe one run per level but writes are rewritten up to T
+	// times per level (write amplification O(T·levels)).
+	Leveling CompactionPolicy = iota
+	// Tiering lets each level accumulate T runs before merging them into
+	// one run a level down: write amplification drops to O(levels), at
+	// the cost of up to T runs probed per level on reads. This is the
+	// trade Dostoevsky and LSM-Bush push further.
+	Tiering
+	// LazyLeveling (Dostoevsky) tiers every level except the largest,
+	// which stays leveled: most of tiering's write savings with
+	// leveling's read cost where it matters (the largest level holds
+	// most data and most queries bottom out there).
+	LazyLeveling
+)
+
+// Options configure a Store.
+type Options struct {
+	MemtableSize int          // entries buffered before flush (default 1024)
+	SizeRatio    int          // level capacity ratio T (default 4)
+	Policy       FilterPolicy // default PolicyBloom
+	BitsPerKey   float64      // Bloom budget per key (default 10)
+	// MonkeyBaseFPR is the false-positive rate of the largest level under
+	// PolicyMonkey (smaller levels get geometrically lower rates).
+	MonkeyBaseFPR float64
+	// RangeFilter, when set, is built per run and consulted by Scan.
+	RangeFilter RangeFilterBuilder
+	// Compaction selects the merge strategy (default Leveling).
+	Compaction CompactionPolicy
+}
+
+func (o *Options) fill() {
+	if o.MemtableSize == 0 {
+		o.MemtableSize = 1024
+	}
+	if o.SizeRatio == 0 {
+		o.SizeRatio = 4
+	}
+	if o.BitsPerKey == 0 {
+		o.BitsPerKey = 10
+	}
+	if o.MonkeyBaseFPR == 0 {
+		o.MonkeyBaseFPR = 0.01
+	}
+}
+
+// run is an immutable sorted run.
+type run struct {
+	id      uint64
+	entries []Entry // sorted by key, unique keys
+	filter  core.Filter
+	rangeF  core.RangeFilter
+	level   int
+}
+
+func (r *run) minKey() uint64 { return r.entries[0].Key }
+func (r *run) maxKey() uint64 { return r.entries[len(r.entries)-1].Key }
+
+// find binary-searches the run; the caller has already paid the I/O.
+func (r *run) find(key uint64) (Entry, bool) {
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key >= key })
+	if i < len(r.entries) && r.entries[i].Key == key {
+		return r.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Store is the LSM-tree.
+type Store struct {
+	opts     Options
+	memtable map[uint64]Entry
+	levels   [][]*run // levels[i] holds the runs of level i, newest first
+	dev      *Device
+	maplet   *quotient.Maplet
+	runByID  map[uint64]*run
+	// Run ids are recycled from a small pool so they always fit the
+	// maplet's 16-bit value width no matter how many flushes occur.
+	freeIDs []uint64
+	nextID  uint64
+	// FilterProbes counts filter consultations (CPU-cost diagnostic).
+	FilterProbes int
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	opts.fill()
+	s := &Store{
+		opts:     opts,
+		memtable: make(map[uint64]Entry),
+		dev:      &Device{},
+		runByID:  make(map[uint64]*run),
+	}
+	if opts.Policy == PolicyMaplet {
+		// 16-bit run ids; sized generously and expanded on demand.
+		s.maplet = quotient.NewMaplet(12, 12, 16)
+	}
+	return s
+}
+
+// Device exposes the I/O counters.
+func (s *Store) Device() *Device { return s.dev }
+
+// Put inserts or updates a key.
+func (s *Store) Put(key, value uint64) {
+	s.memtable[key] = Entry{Key: key, Value: value}
+	s.maybeFlush()
+}
+
+// Delete removes a key (via tombstone).
+func (s *Store) Delete(key uint64) {
+	s.memtable[key] = Entry{Key: key, Tombstone: true}
+	s.maybeFlush()
+}
+
+func (s *Store) maybeFlush() {
+	if len(s.memtable) >= s.opts.MemtableSize {
+		s.Flush()
+	}
+}
+
+// Flush writes the memtable as a new level-0 run and cascades
+// compactions.
+func (s *Store) Flush() {
+	if len(s.memtable) == 0 {
+		return
+	}
+	entries := make([]Entry, 0, len(s.memtable))
+	for _, e := range s.memtable {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	s.memtable = make(map[uint64]Entry)
+	s.pushRun(entries, 0)
+	s.compact()
+}
+
+// levelCapacity returns the entry capacity of level i.
+func (s *Store) levelCapacity(level int) int {
+	c := s.opts.MemtableSize
+	for i := 0; i <= level; i++ {
+		c *= s.opts.SizeRatio
+	}
+	return c
+}
+
+// ensureLevel grows the level slice.
+func (s *Store) ensureLevel(level int) {
+	for len(s.levels) <= level {
+		s.levels = append(s.levels, nil)
+	}
+}
+
+// pushRun installs entries at the given level. Under Leveling (or at the
+// last level under LazyLeveling) the new entries merge with the level's
+// existing run; otherwise the run is appended, newest first.
+func (s *Store) pushRun(entries []Entry, level int) {
+	s.ensureLevel(level)
+	// Lazy leveling merges only at the largest level, and never at level
+	// 0 (before any compaction has opened deeper levels, level 0 is
+	// trivially "last" and merging there would rewrite it every flush).
+	merge := s.opts.Compaction == Leveling ||
+		(s.opts.Compaction == LazyLeveling && level > 0 && s.isLastDataLevel(level))
+	if merge && len(s.levels[level]) > 0 {
+		for _, old := range s.levels[level] {
+			entries = s.mergeEntries(entries, old.entries, s.isLastDataLevel(level))
+			s.dev.Reads += (len(old.entries) + entriesPerBlock - 1) / entriesPerBlock
+			s.retireRun(old)
+		}
+		s.levels[level] = nil
+	}
+	r := s.buildRun(entries, level)
+	s.levels[level] = append([]*run{r}, s.levels[level]...)
+}
+
+// isLastDataLevel reports whether no deeper level currently holds data.
+func (s *Store) isLastDataLevel(level int) bool {
+	for i := level + 1; i < len(s.levels); i++ {
+		if len(s.levels[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// levelEntries counts entries across a level's runs.
+func (s *Store) levelEntries(level int) int {
+	n := 0
+	for _, r := range s.levels[level] {
+		n += len(r.entries)
+	}
+	return n
+}
+
+// mergeEntries merges newer over older; tombstones survive unless this is
+// the last level.
+func (s *Store) mergeEntries(newer, older []Entry, lastLevel bool) []Entry {
+	out := make([]Entry, 0, len(newer)+len(older))
+	i, j := 0, 0
+	for i < len(newer) || j < len(older) {
+		var e Entry
+		switch {
+		case i >= len(newer):
+			e = older[j]
+			j++
+		case j >= len(older):
+			e = newer[i]
+			i++
+		case newer[i].Key < older[j].Key:
+			e = newer[i]
+			i++
+		case newer[i].Key > older[j].Key:
+			e = older[j]
+			j++
+		default:
+			e = newer[i] // newer wins
+			i++
+			j++
+		}
+		if e.Tombstone && lastLevel {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// buildRun constructs the run plus its filters, charging write I/O.
+func (s *Store) buildRun(entries []Entry, level int) *run {
+	var id uint64
+	if n := len(s.freeIDs); n > 0 {
+		id = s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+	} else {
+		s.nextID++
+		if s.nextID >= 1<<16 {
+			panic("lsm: run id space exhausted")
+		}
+		id = s.nextID
+	}
+	r := &run{id: id, entries: entries, level: level}
+	s.dev.Writes += (len(entries) + entriesPerBlock - 1) / entriesPerBlock
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	switch s.opts.Policy {
+	case PolicyBloom:
+		bf := bloom.NewBits(len(entries), s.opts.BitsPerKey)
+		for _, k := range keys {
+			bf.Insert(k)
+		}
+		r.filter = bf
+	case PolicyMonkey:
+		fpr := s.monkeyFPR(level)
+		bf := bloom.New(len(entries), fpr)
+		for _, k := range keys {
+			bf.Insert(k)
+		}
+		r.filter = bf
+	case PolicyMaplet:
+		for _, k := range keys {
+			s.mapletPut(k, r.id)
+		}
+	}
+	if s.opts.RangeFilter != nil {
+		r.rangeF = s.opts.RangeFilter(keys)
+	}
+	s.runByID[r.id] = r
+	return r
+}
+
+// monkeyFPR returns the Monkey-assigned false-positive rate for a level:
+// the largest level pays MonkeyBaseFPR; each smaller level pays a factor
+// T less, so the series sums to ≈ base·T/(T-1) = O(base).
+func (s *Store) monkeyFPR(level int) float64 {
+	depth := len(s.levels) - 1 - level
+	if depth < 0 {
+		depth = 0
+	}
+	fpr := s.opts.MonkeyBaseFPR
+	for i := 0; i < depth; i++ {
+		fpr /= float64(s.opts.SizeRatio)
+	}
+	if fpr < 1e-9 {
+		fpr = 1e-9
+	}
+	return fpr
+}
+
+func (s *Store) mapletPut(key, runID uint64) {
+	for {
+		if err := s.maplet.Put(key, runID); err == nil {
+			return
+		}
+		if err := s.maplet.Expand(); err != nil {
+			panic(fmt.Sprintf("lsm: maplet cannot expand: %v", err))
+		}
+	}
+}
+
+// retireRun removes a run's maplet entries (compaction superseded it)
+// and recycles its id.
+func (s *Store) retireRun(old *run) {
+	delete(s.runByID, old.id)
+	s.freeIDs = append(s.freeIDs, old.id)
+	if s.maplet == nil {
+		return
+	}
+	for _, e := range old.entries {
+		// The entry may have been re-pointed already; delete is best
+		// effort keyed by (key, old run id).
+		_ = s.maplet.Delete(e.Key, old.id)
+	}
+}
+
+// compact cascades oversized levels downward. Leveling moves a level's
+// single run down when it outgrows its capacity; tiering merges a
+// level's T runs into one run a level down once T accumulate.
+func (s *Store) compact() {
+	for level := 0; level < len(s.levels); level++ {
+		switch s.opts.Compaction {
+		case Leveling:
+			if s.levelEntries(level) <= s.levelCapacity(level) {
+				continue
+			}
+			runs := s.levels[level]
+			s.levels[level] = nil
+			merged := s.drainRuns(runs, s.isLastDataLevel(level))
+			s.pushRun(merged, level+1)
+		case Tiering:
+			if len(s.levels[level]) < s.opts.SizeRatio {
+				continue
+			}
+			runs := s.levels[level]
+			s.levels[level] = nil
+			merged := s.drainRuns(runs, s.isLastDataLevel(level))
+			s.pushRun(merged, level+1)
+		case LazyLeveling:
+			// Tier every level except the largest; the largest spills to
+			// a fresh deeper level when it outgrows its capacity.
+			if level > 0 && s.isLastDataLevel(level) {
+				if s.levelEntries(level) <= s.levelCapacity(level) {
+					continue
+				}
+			} else if len(s.levels[level]) < s.opts.SizeRatio {
+				continue
+			}
+			runs := s.levels[level]
+			s.levels[level] = nil
+			merged := s.drainRuns(runs, s.isLastDataLevel(level))
+			s.pushRun(merged, level+1)
+		}
+	}
+}
+
+// drainRuns merges runs (newest first) into one entry list, retiring
+// them and charging the read I/O of the rewrite.
+func (s *Store) drainRuns(runs []*run, lastLevel bool) []Entry {
+	var merged []Entry
+	for i, r := range runs {
+		s.dev.Reads += (len(r.entries) + entriesPerBlock - 1) / entriesPerBlock
+		if i == 0 {
+			merged = append(merged, r.entries...)
+		} else {
+			merged = s.mergeEntries(merged, r.entries, lastLevel)
+		}
+		s.retireRun(r)
+	}
+	return merged
+}
+
+// Get returns the value for key. The boolean reports presence.
+func (s *Store) Get(key uint64) (uint64, bool) {
+	if e, ok := s.memtable[key]; ok {
+		return e.Value, !e.Tombstone
+	}
+	if s.opts.Policy == PolicyMaplet {
+		return s.mapletGet(key)
+	}
+	for level := 0; level < len(s.levels); level++ {
+		for _, r := range s.levels[level] { // newest first
+			if len(r.entries) == 0 || key < r.minKey() || key > r.maxKey() {
+				continue
+			}
+			if r.filter != nil {
+				s.FilterProbes++
+				if !r.filter.Contains(key) {
+					continue
+				}
+			}
+			s.dev.Reads++
+			if e, ok := r.find(key); ok {
+				return e.Value, !e.Tombstone
+			}
+		}
+	}
+	return 0, false
+}
+
+// mapletGet probes only the runs the global maplet points to.
+func (s *Store) mapletGet(key uint64) (uint64, bool) {
+	s.FilterProbes++
+	candidates := s.maplet.Get(key)
+	// Probe newer runs first (higher id = newer).
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] > candidates[j] })
+	seen := map[uint64]bool{}
+	for _, id := range candidates {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		r, ok := s.runByID[id]
+		if !ok {
+			continue // stale pointer from a fingerprint collision
+		}
+		s.dev.Reads++
+		if e, ok := r.find(key); ok {
+			return e.Value, !e.Tombstone
+		}
+	}
+	return 0, false
+}
+
+// Scan returns all live entries with keys in [lo, hi], using range
+// filters (when configured) to skip runs.
+func (s *Store) Scan(lo, hi uint64) []Entry {
+	// Sources in newest-first order: memtable, then levels top-down.
+	// First writer per key wins.
+	var sources [][]Entry
+	var mem []Entry
+	for k, e := range s.memtable {
+		if k >= lo && k <= hi {
+			mem = append(mem, e)
+		}
+	}
+	sources = append(sources, mem)
+	for level := 0; level < len(s.levels); level++ {
+		for _, r := range s.levels[level] { // newest first
+			if len(r.entries) == 0 || hi < r.minKey() || lo > r.maxKey() {
+				continue
+			}
+			if r.rangeF != nil {
+				s.FilterProbes++
+				if !r.rangeF.MayContainRange(lo, hi) {
+					continue
+				}
+			}
+			s.dev.Reads++
+			i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key >= lo })
+			j := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key > hi })
+			sources = append(sources, r.entries[i:j])
+		}
+	}
+	merged := map[uint64]Entry{}
+	for _, entries := range sources {
+		for _, e := range entries {
+			if _, ok := merged[e.Key]; !ok {
+				merged[e.Key] = e
+			}
+		}
+	}
+	out := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		if !e.Tombstone {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Levels returns the number of allocated levels.
+func (s *Store) Levels() int { return len(s.levels) }
+
+// Runs returns the total number of live runs (reads probe up to this
+// many under tiering).
+func (s *Store) Runs() int {
+	n := 0
+	for _, level := range s.levels {
+		n += len(level)
+	}
+	return n
+}
+
+// FilterMemoryBits returns the total filter footprint (per-run filters or
+// the global maplet).
+func (s *Store) FilterMemoryBits() int {
+	if s.maplet != nil {
+		return s.maplet.SizeBits()
+	}
+	total := 0
+	for _, level := range s.levels {
+		for _, r := range level {
+			if r.filter != nil {
+				total += r.filter.SizeBits()
+			}
+		}
+	}
+	return total
+}
+
+// Len returns the number of live entries (exact; walks all runs).
+func (s *Store) Len() int {
+	keys := map[uint64]bool{}
+	for k, e := range s.memtable {
+		if !e.Tombstone {
+			keys[k] = true
+		} else {
+			keys[k] = false
+		}
+	}
+	for level := 0; level < len(s.levels); level++ {
+		for _, r := range s.levels[level] { // newest first
+			for _, e := range r.entries {
+				if _, ok := keys[e.Key]; !ok {
+					keys[e.Key] = !e.Tombstone
+				}
+			}
+		}
+	}
+	n := 0
+	for _, live := range keys {
+		if live {
+			n++
+		}
+	}
+	return n
+}

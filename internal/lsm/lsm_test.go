@@ -1,0 +1,362 @@
+package lsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/surf"
+	"beyondbloom/internal/workload"
+)
+
+func fillStore(t *testing.T, s *Store, n int, seed uint64) []uint64 {
+	t.Helper()
+	keys := workload.Keys(n, seed)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	return keys
+}
+
+func TestGetPutAllPolicies(t *testing.T) {
+	for _, policy := range []FilterPolicy{PolicyNone, PolicyBloom, PolicyMonkey, PolicyMaplet} {
+		s := New(Options{Policy: policy, MemtableSize: 256})
+		keys := fillStore(t, s, 10000, 1)
+		for i, k := range keys {
+			v, ok := s.Get(k)
+			if !ok || v != uint64(i) {
+				t.Fatalf("policy %d: Get(%d) = (%d,%v), want (%d,true)", policy, k, v, ok, i)
+			}
+		}
+		// Absent keys must report absent.
+		for _, k := range workload.DisjointKeys(1000, 1) {
+			if _, ok := s.Get(k); ok {
+				t.Fatalf("policy %d: phantom key", policy)
+			}
+		}
+	}
+}
+
+func TestUpdateOverwrites(t *testing.T) {
+	s := New(Options{Policy: PolicyBloom, MemtableSize: 64})
+	for round := uint64(0); round < 5; round++ {
+		for k := uint64(0); k < 500; k++ {
+			s.Put(k, k*1000+round)
+		}
+	}
+	for k := uint64(0); k < 500; k++ {
+		v, ok := s.Get(k)
+		if !ok || v != k*1000+4 {
+			t.Fatalf("Get(%d) = (%d,%v), want latest round", k, v, ok)
+		}
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	s := New(Options{Policy: PolicyBloom, MemtableSize: 128})
+	keys := fillStore(t, s, 2000, 3)
+	for _, k := range keys[:1000] {
+		s.Delete(k)
+	}
+	s.Flush()
+	for _, k := range keys[:1000] {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("deleted key %d still visible", k)
+		}
+	}
+	for i, k := range keys[1000:] {
+		v, ok := s.Get(k)
+		if !ok || v != uint64(i+1000) {
+			t.Fatalf("survivor %d lost", k)
+		}
+	}
+}
+
+func TestModelChurn(t *testing.T) {
+	s := New(Options{Policy: PolicyMaplet, MemtableSize: 64})
+	rng := rand.New(rand.NewSource(7))
+	model := map[uint64]uint64{}
+	for op := 0; op < 20000; op++ {
+		k := uint64(rng.Intn(3000))
+		switch rng.Intn(10) {
+		case 0:
+			s.Delete(k)
+			delete(model, k)
+		default:
+			v := rng.Uint64()
+			s.Put(k, v)
+			model[k] = v
+		}
+	}
+	for k, want := range model {
+		v, ok := s.Get(k)
+		if !ok || v != want {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, v, ok, want)
+		}
+	}
+	// Spot-check absent keys.
+	for k := uint64(3000); k < 3500; k++ {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("phantom key %d", k)
+		}
+	}
+}
+
+func TestFiltersReduceMissIO(t *testing.T) {
+	// The §3.1 claim chain: none >> uniform bloom >> monkey; maplet ≈ 1
+	// probe. Compare read I/Os for a pure-miss workload.
+	miss := workload.DisjointKeys(20000, 5)
+	ios := map[FilterPolicy]int{}
+	for _, policy := range []FilterPolicy{PolicyNone, PolicyBloom, PolicyMonkey, PolicyMaplet} {
+		s := New(Options{Policy: policy, MemtableSize: 256, BitsPerKey: 10})
+		fillStore(t, s, 50000, 5)
+		s.Flush()
+		before := s.Device().Reads
+		for _, k := range miss {
+			s.Get(k)
+		}
+		ios[policy] = s.Device().Reads - before
+	}
+	if ios[PolicyNone] <= ios[PolicyBloom]*5 {
+		t.Errorf("no-filter I/O %d not far above bloom %d", ios[PolicyNone], ios[PolicyBloom])
+	}
+	if ios[PolicyBloom] < ios[PolicyMonkey] {
+		t.Errorf("monkey I/O %d above uniform bloom %d", ios[PolicyMonkey], ios[PolicyBloom])
+	}
+	if ios[PolicyMaplet] > len(miss)/50 {
+		t.Errorf("maplet miss I/O %d should be near zero", ios[PolicyMaplet])
+	}
+}
+
+func TestHitCostNearOne(t *testing.T) {
+	s := New(Options{Policy: PolicyMaplet, MemtableSize: 256})
+	keys := fillStore(t, s, 30000, 9)
+	s.Flush()
+	before := s.Device().Reads
+	probes := keys[:5000]
+	for _, k := range probes {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	perGet := float64(s.Device().Reads-before) / float64(len(probes))
+	if perGet > 1.2 {
+		t.Errorf("maplet hit cost %f I/Os per get, want ≈1", perGet)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := New(Options{Policy: PolicyBloom, MemtableSize: 128})
+	for k := uint64(0); k < 5000; k += 2 { // even keys only
+		s.Put(k, k*10)
+	}
+	got := s.Scan(100, 120)
+	want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118, 120}
+	if len(got) != len(want) {
+		t.Fatalf("Scan returned %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Key != want[i] || e.Value != want[i]*10 {
+			t.Fatalf("Scan[%d] = %+v", i, e)
+		}
+	}
+	// Deleted keys must not appear.
+	s.Delete(104)
+	got = s.Scan(100, 120)
+	for _, e := range got {
+		if e.Key == 104 {
+			t.Fatal("tombstoned key in scan")
+		}
+	}
+}
+
+func TestScanWithRangeFilterSkipsRuns(t *testing.T) {
+	builder := func(keys []uint64) core.RangeFilter {
+		return surf.New(keys, surf.SuffixReal, 8)
+	}
+	s := New(Options{Policy: PolicyBloom, MemtableSize: 256, RangeFilter: builder})
+	// Clustered keys: lots of empty space between clusters.
+	for k := uint64(0); k < 20000; k++ {
+		s.Put(k<<32, k)
+	}
+	s.Flush()
+	before := s.Device().Reads
+	// Scan mid-gap, beyond the trie's truncation resolution (the stored
+	// prefixes resolve ~2^24 here): range filters should skip all runs.
+	empties := 0
+	for i := 0; i < 2000; i++ {
+		lo := uint64(i)<<32 + 1<<30
+		if got := s.Scan(lo, lo+100); len(got) != 0 {
+			t.Fatalf("scan of empty gap returned entries")
+		}
+		empties++
+	}
+	ioPerEmpty := float64(s.Device().Reads-before) / float64(empties)
+	if ioPerEmpty > 0.2 {
+		t.Errorf("empty scans cost %f I/Os each; range filter should skip runs", ioPerEmpty)
+	}
+	// Non-empty scans still return data.
+	if got := s.Scan(5<<32, 5<<32+10); len(got) != 1 {
+		t.Fatalf("non-empty scan broken: %d entries", len(got))
+	}
+}
+
+func TestLevelsGrowLogarithmically(t *testing.T) {
+	s := New(Options{Policy: PolicyNone, MemtableSize: 128, SizeRatio: 4})
+	fillStore(t, s, 100000, 11)
+	if s.Levels() > 8 {
+		t.Errorf("levels = %d for 100k entries at T=4, expected ~log", s.Levels())
+	}
+}
+
+func TestLenTracksLiveKeys(t *testing.T) {
+	s := New(Options{Policy: PolicyBloom, MemtableSize: 64})
+	keys := fillStore(t, s, 1000, 13)
+	for _, k := range keys[:300] {
+		s.Delete(k)
+	}
+	if got := s.Len(); got != 700 {
+		t.Fatalf("Len = %d, want 700", got)
+	}
+}
+
+func TestFilteredJoin(t *testing.T) {
+	build := workload.Keys(5000, 15)
+	probeHit := build[:1000]
+	probeMiss := workload.DisjointKeys(100000, 15)
+	probe := append(append([]uint64{}, probeHit...), probeMiss...)
+	for _, kind := range []FilterKind{JoinBloom, JoinXor} {
+		rows, stats, err := FilteredJoin(build, probe, kind, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 1000 || stats.Matched != 1000 {
+			t.Fatalf("kind %d: matched %d, want 1000", kind, stats.Matched)
+		}
+		// The filter must have discarded the vast majority of misses.
+		if stats.PassedFilter > 1000+len(probeMiss)/50 {
+			t.Errorf("kind %d: %d rows passed filter, want ≈1000", kind, stats.PassedFilter)
+		}
+	}
+}
+
+func BenchmarkGetHitBloom(b *testing.B) {
+	s := New(Options{Policy: PolicyBloom, MemtableSize: 1024})
+	keys := workload.Keys(200000, 17)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	s.Flush()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkGetMissMonkey(b *testing.B) {
+	s := New(Options{Policy: PolicyMonkey, MemtableSize: 1024})
+	keys := workload.Keys(200000, 19)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	s.Flush()
+	miss := workload.DisjointKeys(1<<20, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(miss[i%len(miss)])
+	}
+}
+
+func TestCompactionPoliciesCorrect(t *testing.T) {
+	for _, pol := range []CompactionPolicy{Leveling, Tiering, LazyLeveling} {
+		s := New(Options{Policy: PolicyBloom, MemtableSize: 128, Compaction: pol})
+		keys := workload.Keys(20000, 21)
+		for i, k := range keys {
+			s.Put(k, uint64(i))
+		}
+		// Overwrite a slice, delete a slice.
+		for i, k := range keys[:2000] {
+			s.Put(k, uint64(i)+1<<40)
+		}
+		for _, k := range keys[2000:4000] {
+			s.Delete(k)
+		}
+		s.Flush()
+		for i, k := range keys[:2000] {
+			v, ok := s.Get(k)
+			if !ok || v != uint64(i)+1<<40 {
+				t.Fatalf("policy %d: overwritten key wrong", pol)
+			}
+		}
+		for _, k := range keys[2000:4000] {
+			if _, ok := s.Get(k); ok {
+				t.Fatalf("policy %d: deleted key visible", pol)
+			}
+		}
+		for i, k := range keys[4000:] {
+			v, ok := s.Get(k)
+			if !ok || v != uint64(i+4000) {
+				t.Fatalf("policy %d: key lost", pol)
+			}
+		}
+	}
+}
+
+func TestTieringAccumulatesRuns(t *testing.T) {
+	s := New(Options{Policy: PolicyNone, MemtableSize: 128, SizeRatio: 4, Compaction: Tiering})
+	keys := workload.Keys(10000, 23)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	sLev := New(Options{Policy: PolicyNone, MemtableSize: 128, SizeRatio: 4, Compaction: Leveling})
+	for i, k := range keys {
+		sLev.Put(k, uint64(i))
+	}
+	if s.Runs() <= sLev.Runs() {
+		t.Errorf("tiering runs %d should exceed leveling runs %d", s.Runs(), sLev.Runs())
+	}
+}
+
+func TestTieringWritesLessLevelingReadsLess(t *testing.T) {
+	// The Dostoevsky trade: tiering has lower write amplification,
+	// leveling lower read cost (without filters).
+	keys := workload.Keys(60000, 25)
+	writes := map[CompactionPolicy]int{}
+	readIO := map[CompactionPolicy]float64{}
+	for _, pol := range []CompactionPolicy{Leveling, Tiering} {
+		s := New(Options{Policy: PolicyNone, MemtableSize: 256, SizeRatio: 4, Compaction: pol})
+		for i, k := range keys {
+			s.Put(k, uint64(i))
+		}
+		s.Flush()
+		writes[pol] = s.Device().Writes
+		before := s.Device().Reads
+		for _, k := range keys[:5000] {
+			s.Get(k)
+		}
+		readIO[pol] = float64(s.Device().Reads-before) / 5000
+	}
+	if writes[Tiering] >= writes[Leveling] {
+		t.Errorf("tiering writes %d not below leveling %d", writes[Tiering], writes[Leveling])
+	}
+	if readIO[Tiering] <= readIO[Leveling] {
+		t.Errorf("tiering read I/O %f not above leveling %f", readIO[Tiering], readIO[Leveling])
+	}
+}
+
+func TestLazyLevelingBetweenBoth(t *testing.T) {
+	keys := workload.Keys(60000, 27)
+	writes := map[CompactionPolicy]int{}
+	for _, pol := range []CompactionPolicy{Leveling, Tiering, LazyLeveling} {
+		s := New(Options{Policy: PolicyNone, MemtableSize: 256, SizeRatio: 4, Compaction: pol})
+		for i, k := range keys {
+			s.Put(k, uint64(i))
+		}
+		s.Flush()
+		writes[pol] = s.Device().Writes
+	}
+	if !(writes[Tiering] <= writes[LazyLeveling] && writes[LazyLeveling] <= writes[Leveling]) {
+		t.Errorf("write amp ordering violated: lev=%d lazy=%d tier=%d",
+			writes[Leveling], writes[LazyLeveling], writes[Tiering])
+	}
+}

@@ -1,0 +1,155 @@
+// Package metrics contains the measurement harness shared by the
+// experiment suite: empirical false-positive-rate estimation, bits/key
+// accounting, and an aligned-column table printer so every experiment
+// emits a table comparable to the paper's claims.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prober abstracts the membership probe of any filter so FPR can be
+// estimated uniformly.
+type Prober interface {
+	Contains(key uint64) bool
+}
+
+// FPR probes the filter with keys known to be absent and returns the
+// fraction that came back positive.
+func FPR(f Prober, negatives []uint64) float64 {
+	if len(negatives) == 0 {
+		return 0
+	}
+	fp := 0
+	for _, k := range negatives {
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(negatives))
+}
+
+// FalseNegatives probes the filter with keys known to be present and
+// returns how many were (incorrectly) reported absent. For a correct
+// filter this must be zero.
+func FalseNegatives(f Prober, positives []uint64) int {
+	fn := 0
+	for _, k := range positives {
+		if !f.Contains(k) {
+			fn++
+		}
+	}
+	return fn
+}
+
+// RangeProber abstracts a range filter's probe.
+type RangeProber interface {
+	MayContainRange(lo, hi uint64) bool
+}
+
+// RangeFPR probes with ranges known to be empty and returns the fraction
+// reported (falsely) non-empty.
+func RangeFPR(f RangeProber, emptyRanges [][2]uint64) float64 {
+	if len(emptyRanges) == 0 {
+		return 0
+	}
+	fp := 0
+	for _, r := range emptyRanges {
+		if f.MayContainRange(r[0], r[1]) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(len(emptyRanges))
+}
+
+// Table accumulates rows and renders them with aligned columns. It is
+// the uniform output format of `beyondbloom exp`.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.001:
+		return fmt.Sprintf("%.2e", v)
+	case v < 1:
+		return fmt.Sprintf("%.4f", v)
+	case v < 100:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+type halfFilter struct{}
+
+func (halfFilter) Contains(k uint64) bool { return k%2 == 0 }
+
+func TestFPR(t *testing.T) {
+	neg := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := FPR(halfFilter{}, neg); got != 0.5 {
+		t.Fatalf("FPR = %f, want 0.5", got)
+	}
+	if got := FPR(halfFilter{}, nil); got != 0 {
+		t.Fatalf("FPR(empty) = %f, want 0", got)
+	}
+}
+
+func TestFalseNegatives(t *testing.T) {
+	pos := []uint64{2, 4, 6, 7}
+	if got := FalseNegatives(halfFilter{}, pos); got != 1 {
+		t.Fatalf("FalseNegatives = %d, want 1", got)
+	}
+}
+
+type emptyRangeFilter struct{}
+
+func (emptyRangeFilter) MayContainRange(lo, hi uint64) bool { return lo == 0 }
+
+func TestRangeFPR(t *testing.T) {
+	ranges := [][2]uint64{{0, 5}, {1, 5}, {2, 5}, {0, 9}}
+	if got := RangeFPR(emptyRangeFilter{}, ranges); got != 0.5 {
+		t.Fatalf("RangeFPR = %f, want 0.5", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "filter", "bits/key", "fpr")
+	tb.AddRow("bloom", 11.52, 0.0039)
+	tb.AddRow("xor", 9.84, 0.0000001)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "bloom") || !strings.Contains(out, "11.52") {
+		t.Errorf("missing row content:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00e-07") {
+		t.Errorf("small float should use scientific notation:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "bbbbbb")
+	tb.AddRow("xxxxxxxx", 1)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// All lines should start with a column padded to width 8 ("xxxxxxxx").
+	if len(lines[0]) < 8 {
+		t.Errorf("header not padded:\n%s", out)
+	}
+}

@@ -1,0 +1,118 @@
+// Package prefixfilter implements a simplified Prefix filter (Even,
+// Even & Morrison, §2.1 of the tutorial): a semi-dynamic,
+// incrementally-buildable filter organized as first-level buckets of
+// sorted fingerprints plus a small "spare" second level that absorbs
+// bucket overflows. The original achieves this with pocket dictionaries
+// and bin packing; this implementation keeps the architecture (bounded
+// buckets + spare, inserts but no deletes, near-cuckoo query speed) with
+// plain sorted byte-bucket storage, and documents the substitution in
+// DESIGN.md.
+package prefixfilter
+
+import (
+	"sort"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/cuckoo"
+	"beyondbloom/internal/hashutil"
+)
+
+// bucketCap is the first-level bucket capacity. Sized so that at design
+// load most keys land in the first level and only a few percent spill.
+const bucketCap = 25
+
+// Filter is a prefix filter over uint64 keys: insert and lookup, no
+// deletes (semi-dynamic).
+type Filter struct {
+	buckets    [][]uint32 // sorted fpBits-bit fingerprints
+	numBuckets uint64
+	fpBits     uint
+	spare      *cuckoo.Filter
+	seed       uint64
+	n          int
+	spilled    int
+}
+
+// New returns a prefix filter sized for n keys with fpBits-bit
+// fingerprints.
+func New(n int, fpBits uint) *Filter {
+	if fpBits < 2 || fpBits > 32 {
+		panic("prefixfilter: fingerprint bits must be in [2,32]")
+	}
+	nb := uint64(1)
+	// Aim for ~90% of bucketCap average occupancy.
+	for float64(nb)*bucketCap*0.9 < float64(n) {
+		nb <<= 1
+	}
+	return &Filter{
+		buckets:    make([][]uint32, nb),
+		numBuckets: nb,
+		fpBits:     fpBits,
+		spare:      cuckoo.New(n/10+64, fpBits),
+		seed:       0x9EF1C,
+	}
+}
+
+func (f *Filter) bucketAndFP(key uint64) (uint64, uint32) {
+	h := hashutil.MixSeed(key, f.seed)
+	return hashutil.Reduce(h, f.numBuckets), uint32(hashutil.Fingerprint(h>>32, f.fpBits))
+}
+
+// Insert adds key. Overflowing buckets spill to the spare filter; the
+// filter is full only when the spare is.
+func (f *Filter) Insert(key uint64) error {
+	b, fp := f.bucketAndFP(key)
+	bucket := f.buckets[b]
+	i := sort.Search(len(bucket), func(i int) bool { return bucket[i] >= fp })
+	if i < len(bucket) && bucket[i] == fp {
+		f.n++
+		return nil // fingerprint already present
+	}
+	if len(bucket) < bucketCap {
+		bucket = append(bucket, 0)
+		copy(bucket[i+1:], bucket[i:])
+		bucket[i] = fp
+		f.buckets[b] = bucket
+		f.n++
+		return nil
+	}
+	// Spill to the spare level, keyed so lookups can recompute.
+	if err := f.spare.Insert(key); err != nil {
+		return err
+	}
+	f.spilled++
+	f.n++
+	return nil
+}
+
+// Contains reports whether key may be present.
+func (f *Filter) Contains(key uint64) bool {
+	b, fp := f.bucketAndFP(key)
+	bucket := f.buckets[b]
+	i := sort.Search(len(bucket), func(i int) bool { return bucket[i] >= fp })
+	if i < len(bucket) && bucket[i] == fp {
+		return true
+	}
+	if len(bucket) == bucketCap { // only full buckets can have spilled
+		return f.spare.Contains(key)
+	}
+	return false
+}
+
+// Len returns the number of inserted keys.
+func (f *Filter) Len() int { return f.n }
+
+// Spilled returns how many inserts went to the spare level.
+func (f *Filter) Spilled() int { return f.spilled }
+
+// SizeBits charges the first level at fpBits per stored fingerprint plus
+// bucket bookkeeping, and the spare at its table size.
+func (f *Filter) SizeBits() int {
+	stored := 0
+	for _, b := range f.buckets {
+		stored += len(b)
+	}
+	return stored*int(f.fpBits) + int(f.numBuckets)*8 + f.spare.SizeBits()
+}
+
+var _ core.MutableFilter = (*Filter)(nil)

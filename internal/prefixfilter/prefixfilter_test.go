@@ -1,0 +1,86 @@
+package prefixfilter
+
+import (
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(50000, 1)
+	f := New(len(keys), 12)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestFPR(t *testing.T) {
+	keys := workload.Keys(50000, 2)
+	f := New(len(keys), 12)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	// A bucketized filter's FPR is (average bucket occupancy)·2^-f:
+	// ~22 fingerprints per bucket × 2^-12 ≈ 0.0054, plus the spare.
+	neg := workload.DisjointKeys(200000, 2)
+	if fpr := metrics.FPR(f, neg); fpr > 0.009 {
+		t.Errorf("FPR %f, want ≈ occupancy·2^-12 ≈ 0.0055", fpr)
+	}
+}
+
+func TestSpillPath(t *testing.T) {
+	// Overload a tiny filter so buckets overflow into the spare.
+	f := New(100, 12)
+	keys := workload.Keys(3000, 3)
+	inserted := []uint64{}
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			break
+		}
+		inserted = append(inserted, k)
+	}
+	if f.Spilled() == 0 {
+		t.Fatal("expected spills under overload")
+	}
+	if fn := metrics.FalseNegatives(f, inserted); fn != 0 {
+		t.Fatalf("%d false negatives with spills", fn)
+	}
+}
+
+func TestSpaceReasonable(t *testing.T) {
+	n := 50000
+	keys := workload.Keys(n, 5)
+	f := New(n, 12)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	perKey := float64(f.SizeBits()) / float64(n)
+	if perKey > 20 {
+		t.Errorf("bits/key = %f, want modest overhead over 12", perKey)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	f := New(b.N+1, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(1<<20, 12)
+	for i := 0; i < 1<<20; i++ {
+		f.Insert(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

@@ -1,0 +1,104 @@
+package proteus
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beyondbloom/internal/workload"
+)
+
+func TestRangeNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(5000, 1)
+	sample := workload.UniformRanges(500, 64, ^uint64(0)-64, 3)
+	f := New(keys, sample, 16)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		span := rng.Uint64()%1000 + 1
+		lo := k - rng.Uint64()%span
+		if lo > k {
+			lo = 0
+		}
+		hi := lo + span
+		if hi < k {
+			hi = k
+		}
+		if !f.MayContainRange(lo, hi) {
+			t.Fatalf("range [%d,%d] contains %d but reported empty", lo, hi, k)
+		}
+	}
+}
+
+func TestSelfDesignPicksLowFPR(t *testing.T) {
+	keys := workload.Keys(10000, 5)
+	sample := workload.UniformRanges(2000, 256, ^uint64(0)-256, 7)
+	best, evals := SelfDesign(keys, sample, 16)
+	if len(evals) < 5 {
+		t.Fatalf("too few designs evaluated: %d", len(evals))
+	}
+	for _, e := range evals {
+		if e.FPR < best.FPR {
+			t.Fatalf("SelfDesign missed better design %+v vs %+v", e, best)
+		}
+	}
+}
+
+func TestDesignAdaptsToWorkload(t *testing.T) {
+	// Short point-ish queries vs long-range queries should not
+	// necessarily pick the same design; at minimum both picks must be
+	// sane (non-degenerate FPR on their own sample).
+	keys := workload.Keys(10000, 9)
+	shortQ := workload.UniformRanges(2000, 2, ^uint64(0)-2, 11)
+	longQ := workload.UniformRanges(2000, 1<<16, ^uint64(0)-1<<17, 13)
+	bestShort, _ := SelfDesign(keys, shortQ, 16)
+	bestLong, _ := SelfDesign(keys, longQ, 16)
+	if bestShort.FPR > 0.2 {
+		t.Errorf("short-query design FPR %g too high", bestShort.FPR)
+	}
+	if bestLong.FPR > 0.6 {
+		t.Errorf("long-query design FPR %g too high", bestLong.FPR)
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	keys := workload.Keys(5000, 15)
+	sample := workload.UniformRanges(500, 2, ^uint64(0)-2, 17)
+	f := New(keys, sample, 16)
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative %d", k)
+		}
+	}
+}
+
+func TestBuildExplicitDesigns(t *testing.T) {
+	keys := workload.Keys(2000, 19)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, d := range []struct{ l1, l2 uint }{{0, 32}, {16, 0}, {24, 48}, {0, 64}} {
+		f := Build(keys, d.l1, d.l2, 16)
+		for _, k := range keys[:200] {
+			if !f.Contains(k) {
+				t.Fatalf("design (%d,%d): false negative", d.l1, d.l2)
+			}
+		}
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := Build(nil, 16, 32, 16)
+	if f.MayContainRange(1, 100) {
+		t.Fatal("empty filter claims content")
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	keys := workload.Keys(100000, 21)
+	f := Build(keys, 24, 40, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9E3779B97F4A7C15
+		f.MayContainRange(lo, lo+255)
+	}
+}

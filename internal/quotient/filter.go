@@ -1,0 +1,283 @@
+package quotient
+
+import (
+	"sort"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Filter is the classic quotient filter: a dynamic approximate set
+// supporting insert, delete, and membership over uint64 keys. The
+// fingerprint has q+r bits; the top q bits (the quotient) are stored
+// implicitly by slot position, the low r bits (the remainder) explicitly,
+// giving n·r payload bits plus 3 metadata bits per slot.
+//
+// Insert is idempotent at the fingerprint level: inserting a key whose
+// fingerprint is already present is a no-op, and Delete removes the
+// fingerprint entirely. Use Counting for multiset semantics.
+type Filter struct {
+	t    *table
+	r    uint
+	seed uint64
+	n    int // distinct fingerprints stored
+
+	// autoExpand, when set, doubles capacity (sacrificing one remainder
+	// bit per doubling, §2.2) when load exceeds maxLoad. When remainder
+	// bits run out the filter saturates: every query returns true.
+	autoExpand bool
+	saturated  bool
+	expansions int
+}
+
+// maxLoad is the occupancy beyond which Insert reports ErrFull (or
+// triggers doubling with SetAutoExpand). Quotient filters degrade sharply
+// past ~0.95 occupancy.
+const maxLoad = 0.95
+
+// New returns a quotient filter with 2^q slots and r-bit remainders.
+// Capacity is maxLoad·2^q keys; the false-positive rate is about
+// load·2^-r.
+func New(q, r uint) *Filter {
+	return &Filter{t: newTable(q, r), r: r, seed: 0x9F0F100D}
+}
+
+// NewWithSeed returns a quotient filter using the given hash seed. The
+// fingerprint of key is MixSeed(key, seed) masked to q+r bits; callers
+// that layer extra per-key state on top (e.g. adaptive extensions) use
+// this to share the filter's fingerprint space.
+func NewWithSeed(q, r uint, seed uint64) *Filter {
+	return &Filter{t: newTable(q, r), r: r, seed: seed}
+}
+
+// NewForCapacity returns a filter sized for n keys at false-positive rate
+// near epsilon (r = ceil(log2(1/epsilon)) remainder bits).
+func NewForCapacity(n int, epsilon float64) *Filter {
+	q := uint(1)
+	for float64(uint64(1)<<q)*maxLoad < float64(n) {
+		q++
+	}
+	r := uint(1)
+	for ; r < 58; r++ {
+		if 1.0/float64(uint64(1)<<r) <= epsilon {
+			break
+		}
+	}
+	return New(q, r)
+}
+
+// SetAutoExpand enables doubling on overflow (the limited expansion
+// mechanism the tutorial describes for quotient filters: each doubling
+// moves one fingerprint bit from the remainder to the quotient, so the
+// false-positive rate doubles and expansion stops when remainder bits run
+// out).
+func (f *Filter) SetAutoExpand(on bool) { f.autoExpand = on }
+
+// Expansions returns how many doublings have occurred.
+func (f *Filter) Expansions() int { return f.expansions }
+
+// Saturated reports whether the filter ran out of fingerprint bits and
+// now returns true for every query.
+func (f *Filter) Saturated() bool { return f.saturated }
+
+func (f *Filter) fingerprint(key uint64) (fq, fr uint64) {
+	h := hashutil.MixSeed(key, f.seed)
+	fp := h & hashutil.Mask(f.t.q+f.r)
+	return fp >> f.r, fp & hashutil.Mask(f.r)
+}
+
+// Insert adds key. It returns ErrFull when the filter is at capacity and
+// auto-expansion is off (or exhausted).
+func (f *Filter) Insert(key uint64) error {
+	if f.saturated {
+		return nil // every query already returns true
+	}
+	if float64(f.t.used+1) > maxLoad*float64(f.t.slots) {
+		if !f.autoExpand {
+			return core.ErrFull
+		}
+		if err := f.expand(); err != nil {
+			return nil // saturated: behaves as the degenerate always-true filter
+		}
+	}
+	fq, fr := f.fingerprint(key)
+	inserted := false
+	_, err := f.t.mutate(fq, func(slots []uint64) []uint64 {
+		i := sort.Search(len(slots), func(i int) bool { return slots[i] >= fr })
+		if i < len(slots) && slots[i] == fr {
+			return slots // already present
+		}
+		inserted = true
+		out := make([]uint64, 0, len(slots)+1)
+		out = append(out, slots[:i]...)
+		out = append(out, fr)
+		out = append(out, slots[i:]...)
+		return out
+	})
+	if err != nil {
+		return err
+	}
+	if inserted {
+		f.n++
+	}
+	return nil
+}
+
+// Contains reports whether key's fingerprint is present.
+func (f *Filter) Contains(key uint64) bool {
+	if f.saturated {
+		return true
+	}
+	fq, fr := f.fingerprint(key)
+	start, length, ok := f.t.findRun(fq)
+	if !ok {
+		return false
+	}
+	pos := start
+	for i := uint64(0); i < length; i++ {
+		v := f.t.payload.Get(int(pos))
+		if v == fr {
+			return true
+		}
+		if v > fr {
+			return false // runs are sorted
+		}
+		pos = (pos + 1) & f.t.mask
+	}
+	return false
+}
+
+// Delete removes key's fingerprint. Deleting a key that was never
+// inserted may remove a colliding key's fingerprint; callers must only
+// delete keys they know to be present. Returns ErrNotFound when the
+// fingerprint is absent.
+func (f *Filter) Delete(key uint64) error {
+	if f.saturated {
+		return nil
+	}
+	fq, fr := f.fingerprint(key)
+	found := false
+	_, err := f.t.mutate(fq, func(slots []uint64) []uint64 {
+		i := sort.Search(len(slots), func(i int) bool { return slots[i] >= fr })
+		if i >= len(slots) || slots[i] != fr {
+			return slots
+		}
+		found = true
+		return append(append([]uint64{}, slots[:i]...), slots[i+1:]...)
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return core.ErrNotFound
+	}
+	f.n--
+	return nil
+}
+
+// Len returns the number of stored fingerprints.
+func (f *Filter) Len() int { return f.n }
+
+// LoadFactor returns used slots / total slots.
+func (f *Filter) LoadFactor() float64 { return float64(f.t.used) / float64(f.t.slots) }
+
+// RemainderBits returns the current remainder width.
+func (f *Filter) RemainderBits() uint { return f.r }
+
+// SizeBits returns the physical footprint in bits.
+func (f *Filter) SizeBits() int {
+	if f.saturated {
+		return 64
+	}
+	return f.t.sizeBits()
+}
+
+// Fingerprints returns all stored q+r-bit fingerprints in ascending
+// order. Used by expansion and merging.
+func (f *Filter) Fingerprints() []uint64 {
+	runs := f.t.allRuns()
+	out := make([]uint64, 0, f.n)
+	for _, rn := range runs {
+		for _, fr := range rn.slots {
+			out = append(out, rn.quotient<<f.r|fr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// expand doubles the table, moving one bit from remainder to quotient.
+// When the remainder would drop below 1 bit, the filter saturates and
+// expand returns ErrFull.
+func (f *Filter) expand() error {
+	if f.r <= 1 {
+		f.saturated = true
+		f.t = nil
+		return core.ErrFull
+	}
+	fps := f.Fingerprints()
+	nf := New(f.t.q+1, f.r-1)
+	nf.seed = f.seed
+	for _, fp := range fps {
+		fq, fr := fp>>nf.r, fp&hashutil.Mask(nf.r)
+		if _, err := nf.t.mutate(fq, func(slots []uint64) []uint64 {
+			i := sort.Search(len(slots), func(i int) bool { return slots[i] >= fr })
+			if i < len(slots) && slots[i] == fr {
+				return slots
+			}
+			out := make([]uint64, 0, len(slots)+1)
+			out = append(out, slots[:i]...)
+			out = append(out, fr)
+			out = append(out, slots[i:]...)
+			return out
+		}); err != nil {
+			return err
+		}
+	}
+	f.t = nf.t
+	f.r = nf.r
+	f.n = nf.t.used
+	f.expansions++
+	return nil
+}
+
+// Merge inserts every fingerprint of other (which must share q, r, and
+// seed) into f. The merged filter answers true for any key either input
+// answered true for.
+func (f *Filter) Merge(other *Filter) error {
+	if other.t.q != f.t.q || other.r != f.r || other.seed != f.seed {
+		return core.ErrImmutable
+	}
+	for _, fp := range other.Fingerprints() {
+		fq, fr := fp>>f.r, fp&hashutil.Mask(f.r)
+		inserted := false
+		if _, err := f.t.mutate(fq, func(slots []uint64) []uint64 {
+			i := sort.Search(len(slots), func(i int) bool { return slots[i] >= fr })
+			if i < len(slots) && slots[i] == fr {
+				return slots
+			}
+			inserted = true
+			out := make([]uint64, 0, len(slots)+1)
+			out = append(out, slots[:i]...)
+			out = append(out, fr)
+			out = append(out, slots[i:]...)
+			return out
+		}); err != nil {
+			return err
+		}
+		if inserted {
+			f.n++
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates internal consistency (test hook).
+func (f *Filter) CheckInvariants() error {
+	if f.saturated {
+		return nil
+	}
+	return f.t.checkInvariants()
+}
+
+var _ core.DeletableFilter = (*Filter)(nil)

@@ -1,0 +1,97 @@
+package quotient
+
+import (
+	"testing"
+)
+
+// FuzzFilterChurn drives the quotient filter through an arbitrary
+// insert/delete/query script derived from the fuzz input, checking the
+// no-false-negative invariant and table consistency throughout.
+func FuzzFilterChurn(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		qf := New(7, 6) // small table: collisions and shifting guaranteed
+		model := map[uint64]bool{}
+		var present []uint64
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%3, uint64(script[i+1])
+			switch op {
+			case 0: // insert
+				if model[arg] {
+					continue
+				}
+				if err := qf.Insert(arg); err != nil {
+					continue // full
+				}
+				model[arg] = true
+				present = append(present, arg)
+			case 1: // delete a present key
+				if len(present) == 0 {
+					continue
+				}
+				k := present[int(arg)%len(present)]
+				if err := qf.Delete(k); err != nil {
+					t.Fatalf("delete of present key %d: %v", k, err)
+				}
+				delete(model, k)
+				for j, p := range present {
+					if p == k {
+						present = append(present[:j], present[j+1:]...)
+						break
+					}
+				}
+			case 2: // query
+				if model[arg] && !qf.Contains(arg) {
+					t.Fatalf("false negative for %d", arg)
+				}
+			}
+		}
+		for k := range model {
+			if !qf.Contains(k) {
+				t.Fatalf("false negative for %d at end", k)
+			}
+		}
+		if err := qf.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzCounterCodec round-trips arbitrary (remainder, count) runs through
+// the CQF's variable-length counter encoding.
+func FuzzCounterCodec(f *testing.F) {
+	f.Add([]byte{1, 5, 2, 200, 0, 3})
+	f.Add([]byte{15, 255, 14, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c := NewCounting(4, 4)
+		var pairs []pair
+		seen := map[uint64]bool{}
+		for i := 0; i+1 < len(raw) && len(pairs) < 8; i += 2 {
+			rem := uint64(raw[i] & 15)
+			count := uint64(raw[i+1])%300 + 1
+			if seen[rem] {
+				continue
+			}
+			seen[rem] = true
+			pairs = append(pairs, pair{rem: rem, count: count})
+		}
+		// Encoding requires ascending remainders.
+		for i := 1; i < len(pairs); i++ {
+			for j := i; j > 0 && pairs[j].rem < pairs[j-1].rem; j-- {
+				pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+			}
+		}
+		enc := c.encodeCounts(pairs)
+		got := c.decodeCounts(enc)
+		if len(got) != len(pairs) {
+			t.Fatalf("roundtrip %v -> %v", pairs, got)
+		}
+		for i := range pairs {
+			if got[i] != pairs[i] {
+				t.Fatalf("roundtrip %v -> %v", pairs, got)
+			}
+		}
+	})
+}

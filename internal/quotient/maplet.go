@@ -1,0 +1,262 @@
+package quotient
+
+import (
+	"sort"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Maplet is a quotient-filter-based key-value filter (§2.4): each slot
+// stores a value of vBits alongside the remainder. A Get for a present
+// key returns its value plus, with probability ε, extra values from
+// colliding fingerprints (expected positive result size 1+ε); a Get for
+// an absent key returns colliding values only (expected negative result
+// size ε). Multiple values per key are supported naturally — quotient
+// filters store variable numbers of entries per run, which is why the
+// tutorial calls them "adept" at multi-valued maplets.
+type Maplet struct {
+	t        *table
+	r        uint
+	vBits    uint
+	seed     uint64
+	identity bool // fingerprint = key & mask (caller pre-mixes)
+	n        int
+}
+
+// NewMaplet returns a maplet with 2^q slots, r-bit remainders, and
+// vBits-bit values. r+vBits must be at most 58.
+func NewMaplet(q, r, vBits uint) *Maplet {
+	if vBits < 1 || r+vBits > 58 {
+		panic("quotient: invalid maplet geometry")
+	}
+	return &Maplet{t: newTable(q, r+vBits), r: r, vBits: vBits, seed: 0x3A9187}
+}
+
+// NewMapletForCapacity sizes a maplet for n keys at false-positive rate
+// epsilon with vBits-bit values.
+func NewMapletForCapacity(n int, epsilon float64, vBits uint) *Maplet {
+	q := uint(1)
+	for float64(uint64(1)<<q)*maxLoad < float64(n) {
+		q++
+	}
+	r := uint(1)
+	for ; r < 40; r++ {
+		if 1.0/float64(uint64(1)<<r) <= epsilon {
+			break
+		}
+	}
+	return NewMaplet(q, r, vBits)
+}
+
+// NewMapletIdentity returns a maplet whose fingerprint is the key itself
+// truncated to q+r bits: with keys that fit (and are pre-mixed for
+// spread) the maplet is exact — a query returns only the values actually
+// associated with the key. Mantis builds its exact k-mer-to-colour-class
+// index this way.
+func NewMapletIdentity(q, r, vBits uint) *Maplet {
+	m := NewMaplet(q, r, vBits)
+	m.identity = true
+	return m
+}
+
+func (m *Maplet) fingerprint(key uint64) (fq, fr uint64) {
+	fp := key
+	if !m.identity {
+		fp = hashutil.MixSeed(key, m.seed)
+	}
+	fp &= hashutil.Mask(m.t.q + m.r)
+	return fp >> m.r, fp & hashutil.Mask(m.r)
+}
+
+// Put associates value with key. Duplicate (key, value) pairs insert
+// duplicate entries; callers that want set semantics should Get first.
+func (m *Maplet) Put(key, value uint64) error {
+	fq, fr := m.fingerprint(key)
+	entry := fr<<m.vBits | (value & hashutil.Mask(m.vBits))
+	_, err := m.t.mutate(fq, func(slots []uint64) []uint64 {
+		i := sort.Search(len(slots), func(i int) bool { return slots[i] >= entry })
+		out := make([]uint64, 0, len(slots)+1)
+		out = append(out, slots[:i]...)
+		out = append(out, entry)
+		out = append(out, slots[i:]...)
+		return out
+	})
+	if err != nil {
+		return err
+	}
+	m.n++
+	return nil
+}
+
+// Get returns every value whose entry matches key's fingerprint.
+func (m *Maplet) Get(key uint64) []uint64 {
+	fq, fr := m.fingerprint(key)
+	start, length, ok := m.t.findRun(fq)
+	if !ok {
+		return nil
+	}
+	var out []uint64
+	pos := start
+	for i := uint64(0); i < length; i++ {
+		e := m.t.payload.Get(int(pos))
+		if e>>m.vBits == fr {
+			out = append(out, e&hashutil.Mask(m.vBits))
+		}
+		pos = (pos + 1) & m.t.mask
+	}
+	return out
+}
+
+// Delete removes one (key, value) association. Returns ErrNotFound if no
+// matching entry exists.
+func (m *Maplet) Delete(key, value uint64) error {
+	fq, fr := m.fingerprint(key)
+	entry := fr<<m.vBits | (value & hashutil.Mask(m.vBits))
+	found := false
+	_, err := m.t.mutate(fq, func(slots []uint64) []uint64 {
+		i := sort.Search(len(slots), func(i int) bool { return slots[i] >= entry })
+		if i >= len(slots) || slots[i] != entry {
+			return slots
+		}
+		found = true
+		return append(append([]uint64{}, slots[:i]...), slots[i+1:]...)
+	})
+	if err != nil {
+		return err
+	}
+	if !found {
+		return core.ErrNotFound
+	}
+	m.n--
+	return nil
+}
+
+// Update replaces the value of an existing (key, oldValue) entry.
+func (m *Maplet) Update(key, oldValue, newValue uint64) error {
+	if err := m.Delete(key, oldValue); err != nil {
+		return err
+	}
+	return m.Put(key, newValue)
+}
+
+// Len returns the number of stored entries.
+func (m *Maplet) Len() int { return m.n }
+
+// LoadFactor returns used slots / total slots.
+func (m *Maplet) LoadFactor() float64 { return float64(m.t.used) / float64(m.t.slots) }
+
+// SizeBits returns the physical footprint in bits.
+func (m *Maplet) SizeBits() int { return m.t.sizeBits() }
+
+// Entries returns all (fingerprint, value) pairs, ascending by
+// fingerprint. Used by expansion.
+func (m *Maplet) Entries() []struct{ Fingerprint, Value uint64 } {
+	runs := m.t.allRuns()
+	out := make([]struct{ Fingerprint, Value uint64 }, 0, m.n)
+	for _, rn := range runs {
+		for _, e := range rn.slots {
+			out = append(out, struct{ Fingerprint, Value uint64 }{
+				Fingerprint: rn.quotient<<m.r | e>>m.vBits,
+				Value:       e & hashutil.Mask(m.vBits),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// Expand doubles the maplet, sacrificing one remainder bit (values keep
+// their width). Returns ErrFull when remainder bits are exhausted.
+func (m *Maplet) Expand() error {
+	if m.r <= 1 {
+		return core.ErrFull
+	}
+	entries := m.Entries()
+	nm := NewMaplet(m.t.q+1, m.r-1, m.vBits)
+	nm.seed = m.seed
+	for _, e := range entries {
+		fq := e.Fingerprint >> nm.r
+		fr := e.Fingerprint & hashutil.Mask(nm.r)
+		entry := fr<<nm.vBits | e.Value
+		if _, err := nm.t.mutate(fq, func(slots []uint64) []uint64 {
+			i := sort.Search(len(slots), func(i int) bool { return slots[i] >= entry })
+			out := make([]uint64, 0, len(slots)+1)
+			out = append(out, slots[:i]...)
+			out = append(out, entry)
+			out = append(out, slots[i:]...)
+			return out
+		}); err != nil {
+			return err
+		}
+		nm.n++
+	}
+	*m = *nm
+	return nil
+}
+
+// CheckInvariants validates internal consistency (test hook).
+func (m *Maplet) CheckInvariants() error { return m.t.checkInvariants() }
+
+var _ core.DeletableMaplet = (*Maplet)(nil)
+
+// ResolvingMaplet wraps a Maplet with a SlimDB-style auxiliary dictionary
+// (§2.4, §3.1): fingerprint collisions are detected on the insertion path
+// and the colliding keys' exact entries move to the auxiliary dictionary,
+// so positive queries return exactly one value (PRS = 1) and tail latency
+// from multi-candidate results disappears. The cost is exact storage for
+// the (rare) colliding keys.
+type ResolvingMaplet struct {
+	m   *Maplet
+	aux map[uint64]uint64 // exact full-key overrides
+}
+
+// NewResolvingMaplet builds a PRS=1 maplet for n keys at fingerprint
+// collision rate epsilon.
+func NewResolvingMaplet(n int, epsilon float64, vBits uint) *ResolvingMaplet {
+	return &ResolvingMaplet{
+		m:   NewMapletForCapacity(n, epsilon, vBits),
+		aux: make(map[uint64]uint64),
+	}
+}
+
+// Put associates value with key, diverting to the auxiliary dictionary on
+// fingerprint collision.
+func (rm *ResolvingMaplet) Put(key, value uint64) error {
+	if _, exists := rm.aux[key]; exists {
+		rm.aux[key] = value
+		return nil
+	}
+	if cands := rm.m.Get(key); len(cands) > 0 {
+		// Fingerprint already present (this key re-put, or a collision
+		// with another key): resolve exactly.
+		rm.aux[key] = value
+		return nil
+	}
+	return rm.m.Put(key, value)
+}
+
+// Get returns exactly the value for key if present in the auxiliary
+// dictionary, otherwise the (single) filter candidate. The returned slice
+// has length <= 1 for keys inserted through Put.
+func (rm *ResolvingMaplet) Get(key uint64) []uint64 {
+	if v, ok := rm.aux[key]; ok {
+		return []uint64{v}
+	}
+	cands := rm.m.Get(key)
+	if len(cands) > 1 {
+		cands = cands[:1]
+	}
+	return cands
+}
+
+// SizeBits charges the maplet plus 128 bits per auxiliary entry (full
+// key + value), mirroring SlimDB's accounting.
+func (rm *ResolvingMaplet) SizeBits() int {
+	return rm.m.SizeBits() + len(rm.aux)*128
+}
+
+// AuxLen returns the number of collisions diverted to the dictionary.
+func (rm *ResolvingMaplet) AuxLen() int { return len(rm.aux) }
+
+var _ core.Maplet = (*ResolvingMaplet)(nil)

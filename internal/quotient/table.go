@@ -1,0 +1,420 @@
+// Package quotient implements the quotient-filter family (§2.1, §2.6 of
+// the tutorial): the classic quotient filter with three metadata bits per
+// slot (is_occupied, is_continuation, is_shifted) and Robin-Hood-style
+// shifting, the counting quotient filter with the variable-length counter
+// encoding, and a maplet variant that stores a small value next to each
+// remainder (§2.4). All variants support deletion, iteration, and
+// doubling (expansion by sacrificing one fingerprint bit, §2.2).
+package quotient
+
+import (
+	"fmt"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+)
+
+// table is the shared physical layer: 2^q slots, each holding a packed
+// payload (remainder, possibly with an attached value) plus the three
+// classic metadata bits. Runs (slots sharing a quotient) are stored
+// contiguously and sorted, shifted right of their canonical slot when
+// necessary; a cluster is a maximal chain of shifted runs.
+//
+// Mutations go through a decode/modify/re-encode cycle on the enclosing
+// region (a maximal contiguous stretch of non-empty slots): the region is
+// decoded into logical runs, the run is edited, and the region re-encoded
+// with all metadata rebuilt. This trades peak speed for one correct code
+// path shared by the set, counting and maplet variants; lookups use the
+// classic O(cluster) walk and never rewrite.
+type table struct {
+	q     uint // log2 of slot count
+	width uint // payload bits per slot (remainder [+ value])
+	slots uint64
+	mask  uint64
+
+	occupied     *bitvec.Vector
+	continuation *bitvec.Vector
+	shifted      *bitvec.Vector
+	payload      *bitvec.Packed
+
+	used int // physically occupied slots
+}
+
+func newTable(q, width uint) *table {
+	if q < 1 || q > 40 {
+		panic(fmt.Sprintf("quotient: q=%d out of range", q))
+	}
+	if width < 1 || width > 58 {
+		panic(fmt.Sprintf("quotient: payload width %d out of range", width))
+	}
+	n := uint64(1) << q
+	return &table{
+		q:            q,
+		width:        width,
+		slots:        n,
+		mask:         n - 1,
+		occupied:     bitvec.New(int(n)),
+		continuation: bitvec.New(int(n)),
+		shifted:      bitvec.New(int(n)),
+		payload:      bitvec.NewPacked(int(n), width),
+	}
+}
+
+func (t *table) isEmptySlot(i uint64) bool {
+	return !t.occupied.Bit(int(i)) && !t.continuation.Bit(int(i)) && !t.shifted.Bit(int(i))
+}
+
+// physicallyEmpty reports whether slot i holds no element. A slot with
+// only is_occupied set is still physically empty only in transient
+// states; in a consistent table is_occupied implies the slot is full, so
+// emptiness is the all-three-bits-zero test.
+func (t *table) physicallyEmpty(i uint64) bool { return t.isEmptySlot(i) }
+
+// run is the logical content of one quotient: the raw payload slots in
+// storage order. The interpretation of the slot sequence (sorted set,
+// counter encoding, multiset of payloads) belongs to the variant.
+type run struct {
+	quotient uint64
+	slots    []uint64
+}
+
+// regionStart walks left from pos to the first slot of the contiguous
+// non-empty region containing pos. pos itself may be empty, in which case
+// it is returned unchanged.
+func (t *table) regionStart(pos uint64) uint64 {
+	if t.physicallyEmpty(pos) {
+		return pos
+	}
+	for steps := uint64(0); steps < t.slots; steps++ {
+		prev := (pos - 1) & t.mask
+		if t.physicallyEmpty(prev) {
+			return pos
+		}
+		pos = prev
+	}
+	panic("quotient: table has no empty slot (overfull)")
+}
+
+// decodeRegion reads the contiguous region starting at start (which must
+// be a region start) into logical runs. It returns the runs and the
+// region length in slots.
+func (t *table) decodeRegion(start uint64) ([]run, uint64) {
+	var runs []run
+	var fifo []uint64
+	pos := start
+	var n uint64
+	for !t.physicallyEmpty(pos) {
+		if t.occupied.Bit(int(pos)) {
+			fifo = append(fifo, pos)
+		}
+		if !t.continuation.Bit(int(pos)) {
+			if len(fifo) == 0 {
+				panic("quotient: corrupt region (run without quotient)")
+			}
+			q := fifo[0]
+			fifo = fifo[1:]
+			runs = append(runs, run{quotient: q})
+		}
+		cur := &runs[len(runs)-1]
+		cur.slots = append(cur.slots, t.payload.Get(int(pos)))
+		pos = (pos + 1) & t.mask
+		n++
+		if n > t.slots {
+			panic("quotient: table has no empty slot (overfull)")
+		}
+	}
+	return runs, n
+}
+
+// clearSpan clears metadata for n slots starting at start. The occupied
+// bits cleared are exactly the quotients of runs stored in the span
+// (every run's quotient lies inside its region).
+func (t *table) clearSpan(start, n uint64) {
+	pos := start
+	for i := uint64(0); i < n; i++ {
+		t.occupied.Clear(int(pos))
+		t.continuation.Clear(int(pos))
+		t.shifted.Clear(int(pos))
+		pos = (pos + 1) & t.mask
+	}
+}
+
+// encodeRegion writes runs back starting at regionStart. Runs must be in
+// scan order with quotients inside the span. Slots the encoding skips
+// (gaps before a run's canonical slot) are left empty, naturally
+// splitting the region when content shrank. Returns the number of slots
+// consumed from regionStart to the end of the last written run.
+func (t *table) encodeRegion(regionStart uint64, runs []run) uint64 {
+	off := func(x uint64) uint64 { return (x - regionStart) & t.mask }
+	pos := regionStart
+	for _, rn := range runs {
+		if len(rn.slots) == 0 {
+			continue
+		}
+		if off(pos) < off(rn.quotient) {
+			pos = rn.quotient // slots in between stay empty
+		}
+		t.occupied.Set(int(rn.quotient))
+		for i, v := range rn.slots {
+			t.payload.Set(int(pos), v)
+			t.continuation.SetTo(int(pos), i > 0)
+			t.shifted.SetTo(int(pos), pos != rn.quotient)
+			pos = (pos + 1) & t.mask
+		}
+	}
+	return off(pos)
+}
+
+// rewriteRegion replaces the region at start (old length oldLen) with the
+// given runs, growing into following regions if necessary. delta is the
+// change in physical slot usage (new total minus old), applied to used.
+func (t *table) rewriteRegion(start, oldLen uint64, runs []run) {
+	newLen := uint64(0)
+	for _, rn := range runs {
+		newLen += uint64(len(rn.slots))
+	}
+	// Extend the working span over following regions until the new
+	// content provably fits: the encode needs at most oldSpan+growth
+	// slots, and every slot beyond consumed regions is empty.
+	span := oldLen
+	absorbed := runs
+	for {
+		// Count the empty gap right after the current span.
+		gapStart := (start + span) & t.mask
+		needed := newLen
+		if needed <= span {
+			break
+		}
+		grow := needed - span
+		gap := uint64(0)
+		for gap < grow && t.physicallyEmpty((gapStart+gap)&t.mask) {
+			gap++
+		}
+		if gap >= grow {
+			span += gap
+			break
+		}
+		// Next region starts inside the window we need: absorb it.
+		nextStart := (gapStart + gap) & t.mask
+		nextRuns, nextLen := t.decodeRegion(nextStart)
+		t.clearSpan(nextStart, nextLen)
+		absorbed = append(absorbed, nextRuns...)
+		span += gap + nextLen
+		newLen += nextLen
+	}
+	t.clearSpan(start, oldLen)
+	written := t.encodeRegion(start, absorbed)
+	_ = written
+	// Recompute used from the delta of this region's own content: caller
+	// adjusts used explicitly, so nothing to do here.
+}
+
+// updateRun rewrites the run for quotient fq using edit, which receives
+// the current raw slot sequence (nil if the quotient has no run) and
+// returns the replacement (nil/empty to delete the run). It returns the
+// change in slot count.
+func (t *table) updateRun(fq uint64, edit func(slots []uint64) []uint64) int {
+	start := t.regionStart(fq)
+	runs, oldLen := t.decodeRegion(start)
+	idx := -1
+	for i := range runs {
+		if runs[i].quotient == fq {
+			idx = i
+			break
+		}
+	}
+	var old []uint64
+	if idx >= 0 {
+		old = runs[idx].slots
+	}
+	replacement := edit(old)
+	delta := len(replacement) - len(old)
+	if delta == 0 && idx >= 0 {
+		// In-place length: still re-encode to pick up content changes.
+	}
+	switch {
+	case idx >= 0 && len(replacement) == 0:
+		runs = append(runs[:idx], runs[idx+1:]...)
+	case idx >= 0:
+		runs[idx].slots = replacement
+	case len(replacement) > 0:
+		// Insert a new run in quotient scan order.
+		off := func(x uint64) uint64 { return (x - start) & t.mask }
+		pos := len(runs)
+		for i := range runs {
+			if off(fq) < off(runs[i].quotient) {
+				pos = i
+				break
+			}
+		}
+		runs = append(runs, run{})
+		copy(runs[pos+1:], runs[pos:])
+		runs[pos] = run{quotient: fq, slots: replacement}
+	default:
+		return 0 // no run and nothing to write
+	}
+	if t.used+delta > int(t.slots)-1 {
+		// Re-encoding would fill the last empty slot; caller must treat
+		// this as full. No mutation has happened yet... but edit already
+		// ran; we simply don't apply it.
+		panic(errTableFull{})
+	}
+	t.rewriteRegion(start, oldLen, runs)
+	t.used += delta
+	return delta
+}
+
+type errTableFull struct{}
+
+func (errTableFull) Error() string { return core.ErrFull.Error() }
+
+// mutate wraps updateRun, converting the full-table panic into ErrFull.
+func (t *table) mutate(fq uint64, edit func(slots []uint64) []uint64) (delta int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(errTableFull); ok {
+				err = core.ErrFull
+				return
+			}
+			panic(r)
+		}
+	}()
+	delta = t.updateRun(fq, edit)
+	return delta, nil
+}
+
+// findRun locates the run of quotient fq with the classic cluster walk.
+// It returns the run's slot positions in order, or nil if fq is not
+// occupied. Read-only and allocation-light: used by lookups.
+func (t *table) findRun(fq uint64) (startPos uint64, length uint64, ok bool) {
+	if !t.occupied.Bit(int(fq)) {
+		return 0, 0, false
+	}
+	// Walk left to the cluster start (first unshifted slot).
+	b := fq
+	for t.shifted.Bit(int(b)) {
+		b = (b - 1) & t.mask
+	}
+	// March run starts (s) and occupied quotients (b) forward in lockstep
+	// until b reaches fq.
+	s := b
+	for b != fq {
+		// Skip to the end of the current run.
+		for {
+			s = (s + 1) & t.mask
+			if !t.continuation.Bit(int(s)) {
+				break
+			}
+		}
+		// Advance to the next occupied quotient.
+		for {
+			b = (b + 1) & t.mask
+			if t.occupied.Bit(int(b)) {
+				break
+			}
+		}
+	}
+	// s is the run start for fq; measure its length.
+	length = 1
+	p := (s + 1) & t.mask
+	for t.continuation.Bit(int(p)) {
+		length++
+		p = (p + 1) & t.mask
+	}
+	return s, length, true
+}
+
+// runSlots copies the payload values of the run at startPos.
+func (t *table) runSlots(startPos, length uint64) []uint64 {
+	out := make([]uint64, length)
+	pos := startPos
+	for i := range out {
+		out[i] = t.payload.Get(int(pos))
+		pos = (pos + 1) & t.mask
+	}
+	return out
+}
+
+// allRuns decodes the entire table into runs in circular scan order
+// starting after some empty slot. Used by iteration, resize and merge.
+func (t *table) allRuns() []run {
+	if t.used == 0 {
+		return nil
+	}
+	// Find an empty anchor slot.
+	anchor := uint64(0)
+	found := false
+	for i := uint64(0); i < t.slots; i++ {
+		if t.physicallyEmpty(i) {
+			anchor = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic("quotient: table has no empty slot (overfull)")
+	}
+	var all []run
+	pos := (anchor + 1) & t.mask
+	scanned := uint64(0)
+	for scanned < t.slots-1 {
+		if t.physicallyEmpty(pos) {
+			pos = (pos + 1) & t.mask
+			scanned++
+			continue
+		}
+		runs, n := t.decodeRegion(pos)
+		all = append(all, runs...)
+		pos = (pos + n) & t.mask
+		scanned += n
+	}
+	return all
+}
+
+// sizeBits returns the physical footprint: payload plus 3 metadata bits
+// per slot.
+func (t *table) sizeBits() int {
+	return t.payload.SizeBits() + t.occupied.SizeBits() +
+		t.continuation.SizeBits() + t.shifted.SizeBits()
+}
+
+// checkInvariants validates table consistency; tests call it after
+// mutation sequences. It verifies that the decoded content round-trips:
+// every run's quotient has its occupied bit, slot usage matches, and
+// lookups agree with decode.
+func (t *table) checkInvariants() error {
+	runs := t.allRuns()
+	total := 0
+	for _, rn := range runs {
+		total += len(rn.slots)
+		if !t.occupied.Bit(int(rn.quotient)) {
+			return fmt.Errorf("quotient %d has run but no occupied bit", rn.quotient)
+		}
+		start, length, ok := t.findRun(rn.quotient)
+		if !ok {
+			return fmt.Errorf("findRun(%d) failed", rn.quotient)
+		}
+		if length != uint64(len(rn.slots)) {
+			return fmt.Errorf("findRun(%d) length %d, decode %d", rn.quotient, length, len(rn.slots))
+		}
+		got := t.runSlots(start, length)
+		for i := range got {
+			if got[i] != rn.slots[i] {
+				return fmt.Errorf("findRun(%d) slot %d mismatch", rn.quotient, i)
+			}
+		}
+	}
+	if total != t.used {
+		return fmt.Errorf("used=%d but decoded %d slots", t.used, total)
+	}
+	occ := 0
+	for i := uint64(0); i < t.slots; i++ {
+		if t.occupied.Bit(int(i)) {
+			occ++
+		}
+	}
+	if occ != len(runs) {
+		return fmt.Errorf("%d occupied bits but %d runs", occ, len(runs))
+	}
+	return nil
+}

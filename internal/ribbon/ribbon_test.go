@@ -1,0 +1,116 @@
+package ribbon
+
+import (
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(100000, 1)
+	f, err := New(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestFPRMatchesFingerprint(t *testing.T) {
+	keys := workload.Keys(50000, 2)
+	for _, r := range []uint{8, 12, 16} {
+		f, err := New(keys, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg := workload.DisjointKeys(200000, 2)
+		got := metrics.FPR(f, neg)
+		want := 1.0 / float64(uint64(1)<<r)
+		if got > want*2.5 {
+			t.Errorf("r=%d: FPR %g, want ≈%g", r, got, want)
+		}
+	}
+}
+
+func TestSpaceNearOptimal(t *testing.T) {
+	// Ribbon's headline: close to n·r bits — smaller than XOR's 1.23·n·r.
+	keys := workload.Keys(200000, 3)
+	f, err := New(keys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKey := float64(f.SizeBits()) / float64(len(keys))
+	if perKey > 8*1.10 {
+		t.Errorf("bits/key = %f, want < 8.8 (≈1.05 overhead)", perKey)
+	}
+	if perKey < 8 {
+		t.Errorf("bits/key = %f below information content (accounting bug)", perKey)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	f, err := New(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Contains(42) {
+		t.Error("empty filter claims membership")
+	}
+	f2, err := New([]uint64{7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Contains(7) {
+		t.Error("singleton lost")
+	}
+}
+
+func TestDuplicatesAndZero(t *testing.T) {
+	f, err := New([]uint64{0, 0, 5, 5, 5}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	if !f.Contains(0) || !f.Contains(5) {
+		t.Error("keys lost")
+	}
+}
+
+func TestManySizes(t *testing.T) {
+	for _, n := range []int{1, 10, 100, 1000, 65, 64, 63} {
+		keys := workload.Keys(n, uint64(n))
+		f, err := New(keys, 10)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+			t.Fatalf("n=%d: %d false negatives", n, fn)
+		}
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	keys := workload.Keys(100000, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(keys, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	keys := workload.Keys(1000000, 5)
+	f, err := New(keys, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}

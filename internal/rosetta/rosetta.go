@@ -1,0 +1,158 @@
+// Package rosetta implements Rosetta (Luo et al., §2.5 of the tutorial):
+// a range filter made of a hierarchy of Bloom filters, one per prefix
+// length, forming an implicit segment tree over the key space. A range
+// query decomposes into dyadic intervals; each interval's prefix is
+// probed in the Bloom filter of its level and, on a positive, recursively
+// refined down to the bottom level. Only a bottom-level (full-key)
+// positive makes the query return "maybe non-empty", which gives Rosetta
+// its robustness for point and short-range queries — and its two
+// weaknesses the tutorial calls out: false-positive rate that grows with
+// range length, and high CPU cost from the many probes.
+package rosetta
+
+import (
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/core"
+)
+
+// Filter is an immutable-capacity, insert-supporting Rosetta filter over
+// uint64 keys.
+type Filter struct {
+	// blooms[i] covers prefixes of length minLevel+i bits; the last entry
+	// covers full 64-bit keys.
+	blooms   []*bloom.Filter
+	minLevel uint
+	probes   int // cumulative probe count (CPU-cost diagnostic)
+	n        int
+}
+
+// New returns a Rosetta filter sized for n keys with bitsPerKey total
+// memory budget, supporting range queries up to 2^maxRangeLog long.
+// Levels above 64-maxRangeLog are not materialized: dyadic intervals
+// larger than the longest supported query never need probing, and
+// queries longer than 2^maxRangeLog degrade gracefully (their oversized
+// intervals are assumed non-empty — "eventually provides no filtering").
+func New(n int, bitsPerKey float64, maxRangeLog uint) *Filter {
+	if maxRangeLog < 1 || maxRangeLog > 63 {
+		panic("rosetta: maxRangeLog must be in [1,63]")
+	}
+	levels := int(maxRangeLog) + 1
+	f := &Filter{minLevel: 64 - maxRangeLog, n: n}
+	// Bottom-heavy memory split (the paper's tuning): the full-key level
+	// gets half the budget and each level above gets half of what the
+	// level below it got. Starved upper levels would pass almost every
+	// probe, and with two children per positive node the doubting
+	// recursion then *multiplies* surviving paths faster than thin
+	// filters can kill them.
+	share := bitsPerKey / 2
+	budgets := make([]float64, levels)
+	for i := levels - 1; i >= 0; i-- {
+		budgets[i] = share
+		if i > 0 {
+			share /= 2
+		} else {
+			budgets[0] += share // fold the remainder into the top level
+		}
+	}
+	for i := 0; i < levels; i++ {
+		seed := 0x40533774 + uint64(i)*0x9E3779B97F4A7C15
+		f.blooms = append(f.blooms, bloom.NewBitsSeeded(n, budgets[i], seed))
+	}
+	return f
+}
+
+// NewEvenSplit is New with the memory budget divided evenly across
+// levels instead of bottom-heavy. It exists for the ablation experiment
+// (A2): even splits starve the doubting recursion and the compound FPR
+// balloons, which is why the geometric split is the default.
+func NewEvenSplit(n int, bitsPerKey float64, maxRangeLog uint) *Filter {
+	if maxRangeLog < 1 || maxRangeLog > 63 {
+		panic("rosetta: maxRangeLog must be in [1,63]")
+	}
+	levels := int(maxRangeLog) + 1
+	f := &Filter{minLevel: 64 - maxRangeLog, n: n}
+	per := bitsPerKey / float64(levels)
+	for i := 0; i < levels; i++ {
+		seed := 0x40533774 + uint64(i)*0x9E3779B97F4A7C15
+		f.blooms = append(f.blooms, bloom.NewBitsSeeded(n, per, seed))
+	}
+	return f
+}
+
+// Insert adds key: every materialized level records the corresponding
+// prefix.
+func (f *Filter) Insert(key uint64) error {
+	for i, b := range f.blooms {
+		level := f.minLevel + uint(i)
+		b.Insert(key >> (64 - level))
+	}
+	return nil
+}
+
+// Contains is a point query: a single probe of the bottom filter.
+func (f *Filter) Contains(key uint64) bool {
+	f.probes++
+	return f.blooms[len(f.blooms)-1].Contains(key)
+}
+
+// MayContainRange reports whether [lo, hi] may contain a key: greedy
+// dyadic decomposition, each piece probed and recursively refined.
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi {
+		return false
+	}
+	for {
+		// Largest dyadic block starting at lo and fitting within hi.
+		k := uint(0)
+		for k < 63 {
+			size := uint64(1) << (k + 1)
+			if lo&(size-1) != 0 {
+				break
+			}
+			if hi-lo < size-1 { // block [lo, lo+size-1] must fit
+				break
+			}
+			k++
+		}
+		if f.doubt(lo>>k, 64-k) {
+			return true
+		}
+		next := lo + 1<<k
+		if next > hi || next < lo { // done or wrapped
+			return false
+		}
+		lo = next
+	}
+}
+
+// doubt checks whether the dyadic interval (prefix at the given level)
+// may be non-empty, recursing toward the bottom level.
+func (f *Filter) doubt(prefix uint64, level uint) bool {
+	if level < f.minLevel {
+		// Interval larger than the filter is provisioned for: cannot
+		// filter, assume non-empty.
+		return true
+	}
+	f.probes++
+	if !f.blooms[level-f.minLevel].Contains(prefix) {
+		return false
+	}
+	if level == 64 {
+		return true // full-key positive
+	}
+	return f.doubt(prefix<<1, level+1) || f.doubt(prefix<<1|1, level+1)
+}
+
+// Probes returns the cumulative number of Bloom probes (CPU cost proxy).
+func (f *Filter) Probes() int { return f.probes }
+
+// SizeBits returns the total footprint of all levels.
+func (f *Filter) SizeBits() int {
+	total := 0
+	for _, b := range f.blooms {
+		total += b.SizeBits()
+	}
+	return total
+}
+
+var _ core.RangeFilter = (*Filter)(nil)

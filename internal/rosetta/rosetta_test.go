@@ -1,0 +1,183 @@
+package rosetta
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func buildFilter(t *testing.T, keys []uint64, bpk float64, maxRangeLog uint) *Filter {
+	t.Helper()
+	f := New(len(keys), bpk, maxRangeLog)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestPointNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(20000, 1)
+	f := buildFilter(t, keys, 16, 10)
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestRangeNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(5000, 2)
+	f := buildFilter(t, keys, 16, 10)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		span := rng.Uint64()%1000 + 1
+		lo := k - rng.Uint64()%span
+		if lo > k {
+			lo = 0
+		}
+		hi := lo + span
+		if hi < k {
+			hi = k
+		}
+		if !f.MayContainRange(lo, hi) {
+			t.Fatalf("range [%d,%d] contains %d but reported empty", lo, hi, k)
+		}
+	}
+}
+
+func TestShortRangeFPRLow(t *testing.T) {
+	keys := workload.Keys(20000, 5)
+	f := buildFilter(t, keys, 20, 12)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	emptyRangesOf := func(length uint64, m int, seed int64) [][2]uint64 {
+		qs := workload.UniformRanges(m*2, length, ^uint64(0)-length-1, seed)
+		var out [][2]uint64
+		for _, q := range qs {
+			i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q.Lo })
+			if i >= len(sorted) || sorted[i] > q.Hi {
+				out = append(out, [2]uint64{q.Lo, q.Hi})
+			}
+			if len(out) == m {
+				break
+			}
+		}
+		return out
+	}
+	shortFPR := metrics.RangeFPR(f, emptyRangesOf(2, 3000, 7))
+	longFPR := metrics.RangeFPR(f, emptyRangesOf(1<<11, 3000, 9))
+	if shortFPR > 0.05 {
+		t.Errorf("short-range FPR %g too high", shortFPR)
+	}
+	// The tutorial: Rosetta's FPR grows rapidly with range length.
+	if longFPR < shortFPR {
+		t.Errorf("long-range FPR %g below short-range %g — expected growth", longFPR, shortFPR)
+	}
+}
+
+func TestOversizedRangeNoFiltering(t *testing.T) {
+	keys := workload.Keys(1000, 11)
+	f := buildFilter(t, keys, 16, 8)
+	// A range far longer than 2^8 cannot be filtered: must return true
+	// ("eventually provides no filtering").
+	if !f.MayContainRange(1<<30, 1<<30+1<<20) {
+		t.Fatal("oversized range filtered — should degrade to no filtering")
+	}
+}
+
+func TestProbeCountGrowsWithRange(t *testing.T) {
+	keys := workload.Keys(5000, 13)
+	f := buildFilter(t, keys, 16, 12)
+	f.probes = 0
+	f.MayContainRange(12345, 12345+3)
+	shortProbes := f.Probes()
+	f.probes = 0
+	f.MayContainRange(12345, 12345+4000)
+	longProbes := f.Probes()
+	if longProbes <= shortProbes {
+		t.Errorf("probe counts: short %d, long %d — CPU cost should grow", shortProbes, longProbes)
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	f := buildFilter(t, workload.Keys(10, 17), 16, 8)
+	if f.MayContainRange(100, 50) {
+		t.Fatal("inverted range must be empty")
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	f := New(100000, 18, 10)
+	keys := workload.Keys(100000, 19)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9E3779B97F4A7C15
+		f.MayContainRange(lo, lo+255)
+	}
+}
+
+func TestPointQueryUsesBottomFilter(t *testing.T) {
+	f := buildFilter(t, workload.Keys(5000, 21), 16, 10)
+	f.probes = 0
+	f.Contains(12345)
+	if f.Probes() != 1 {
+		t.Fatalf("point query used %d probes, want 1", f.Probes())
+	}
+}
+
+func TestEvenSplitWorseAtShortRanges(t *testing.T) {
+	keys := workload.Keys(10000, 23)
+	geo := New(len(keys), 18, 12)
+	even := NewEvenSplit(len(keys), 18, 12)
+	for _, k := range keys {
+		geo.Insert(k)
+		even.Insert(k)
+	}
+	// Sample empty short ranges (uniform random in the full space is
+	// almost surely empty at this density).
+	rng := rand.New(rand.NewSource(25))
+	geoFP, evenFP := 0, 0
+	for i := 0; i < 3000; i++ {
+		lo := rng.Uint64()
+		if geo.MayContainRange(lo, lo+15) {
+			geoFP++
+		}
+		if even.MayContainRange(lo, lo+15) {
+			evenFP++
+		}
+	}
+	if evenFP <= geoFP {
+		t.Errorf("even split FPs %d not above geometric %d", evenFP, geoFP)
+	}
+}
+
+func TestBadMaxRangeLogPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(10, 16, 0) },
+		func() { New(10, 16, 64) },
+		func() { NewEvenSplit(10, 16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad maxRangeLog should panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSizeBitsCoversAllLevels(t *testing.T) {
+	f := New(1000, 20, 8)
+	if f.SizeBits() < 1000*15 {
+		t.Errorf("SizeBits %d suspiciously small for 20 bits/key", f.SizeBits())
+	}
+}

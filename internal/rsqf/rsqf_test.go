@@ -1,0 +1,124 @@
+package rsqf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(100000, 1)
+	f := New(keys, 9)
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestFPRNearTarget(t *testing.T) {
+	keys := workload.Keys(50000, 2)
+	f := New(keys, 10)
+	neg := workload.DisjointKeys(200000, 2)
+	fpr := metrics.FPR(f, neg)
+	// ε ≈ load · 2^-10 ≈ 0.00075 at ~0.77 load; allow 3x.
+	if fpr > 0.003 {
+		t.Errorf("FPR %g too high for r=10", fpr)
+	}
+	if fpr == 0 {
+		t.Error("FPR exactly zero is suspicious at this size")
+	}
+}
+
+func TestMetadataIs2Point125Bits(t *testing.T) {
+	// The headline claim: metadata is exactly 2.125 bits/slot.
+	keys := workload.Keys(100000, 3)
+	f := New(keys, 8)
+	meta := f.SizeBits() - f.remainders.SizeBits()
+	perSlot := float64(meta) / float64(f.slots)
+	if perSlot != 2.125 {
+		t.Fatalf("metadata bits/slot = %f, want exactly 2.125", perSlot)
+	}
+}
+
+func TestSpaceBeatsThreeBitLayout(t *testing.T) {
+	// n at ~93% of a power of two so slot rounding doesn't mask the
+	// metadata comparison (same convention as experiment E1).
+	n := 1 << 17 * 93 / 100
+	keys := workload.Keys(n, 5)
+	f := New(keys, 8)
+	perKey := float64(f.SizeBits()) / float64(len(keys))
+	// (8+2.125)/0.93 ≈ 10.9; must be under the 3-bit layout's
+	// (8+3)/0.93 ≈ 11.8.
+	if perKey > 11.3 {
+		t.Errorf("bits/key = %f, want ≈10.9 (below the 3-bit layout's ~11.8)", perKey)
+	}
+}
+
+func TestDensePacking(t *testing.T) {
+	// Sequential keys stress run shifting across block boundaries.
+	keys := make([]uint64, 60000)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f := New(keys, 8)
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives on sequential keys", fn)
+	}
+}
+
+func TestClusteredQuotients(t *testing.T) {
+	// Many keys forced into few quotients: long runs, big offsets,
+	// saturation path.
+	keys := make([]uint64, 3000)
+	for i := range keys {
+		keys[i] = uint64(i) // fingerprints spread by hashing; fine
+	}
+	// Small r so the table is small and runs collide hard.
+	f := New(keys, 4)
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives under clustering", fn)
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	prop := func(keys []uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		f := New(keys, 12)
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	f := New(nil, 8)
+	if f.Contains(42) {
+		t.Fatal("empty filter claims membership")
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	keys := workload.Keys(1<<20, 7)
+	f := New(keys, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	keys := workload.Keys(100000, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(keys, 9)
+	}
+}

@@ -1,0 +1,258 @@
+// Package seqindex implements the large-scale sequence-search indexes of
+// §3.2: the Sequence Bloom Tree (Solomon & Kingsford) — a binary tree of
+// Bloom filters answering Θ-fraction experiment-discovery queries
+// approximately — and a Mantis-style inverted index — an exact counting-
+// quotient-filter maplet mapping each k-mer to a colour class (a set of
+// experiments), which the tutorial describes as "smaller, faster, and
+// exact compared to the SBT".
+package seqindex
+
+import (
+	"math/bits"
+
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/quotient"
+)
+
+// SBT is a sequence Bloom tree over a fixed set of experiments.
+type SBT struct {
+	nodes      []sbtNode // heap layout: node i has children 2i+1, 2i+2
+	numExp     int
+	bloomBits  float64
+	filterSize int
+	// Probes counts Bloom membership probes (query CPU-cost proxy).
+	Probes int
+}
+
+type sbtNode struct {
+	filter *bloom.Filter
+	exp    int // experiment id at a leaf; -1 for internal/empty
+}
+
+// NewSBT builds an SBT over experiments, each given as its set of
+// canonical k-mer codes, with bitsPerKmer Bloom budget per distinct
+// k-mer at the leaves (internal nodes hold unions and are sized for
+// them).
+func NewSBT(experiments [][]uint64, bitsPerKmer float64) *SBT {
+	numLeaves := 1
+	for numLeaves < len(experiments) {
+		numLeaves *= 2
+	}
+	t := &SBT{
+		nodes:     make([]sbtNode, 2*numLeaves-1),
+		numExp:    len(experiments),
+		bloomBits: bitsPerKmer,
+	}
+	for i := range t.nodes {
+		t.nodes[i].exp = -1
+	}
+	// Build bottom-up: leaves first, then unions.
+	sets := make([]map[uint64]struct{}, len(t.nodes))
+	for e, codes := range experiments {
+		idx := numLeaves - 1 + e
+		set := make(map[uint64]struct{}, len(codes))
+		for _, c := range codes {
+			set[c] = struct{}{}
+		}
+		sets[idx] = set
+		t.nodes[idx].exp = e
+	}
+	for i := len(t.nodes) - 1; i > 0; i -= 2 {
+		parent := (i - 1) / 2
+		union := map[uint64]struct{}{}
+		for _, child := range []int{i - 1, i} {
+			for c := range sets[child] {
+				union[c] = struct{}{}
+			}
+		}
+		if len(union) > 0 {
+			sets[parent] = union
+		}
+	}
+	for i, set := range sets {
+		if set == nil {
+			continue
+		}
+		f := bloom.NewBitsSeeded(len(set), bitsPerKmer, 0x5B7+uint64(i)*0x9E3779B97F4A7C15)
+		for c := range set {
+			f.Insert(c)
+		}
+		t.nodes[i].filter = f
+		t.filterSize += f.SizeBits()
+	}
+	return t
+}
+
+// Query returns the experiments containing at least theta of the query
+// k-mers, by pruning descent: a subtree is abandoned as soon as its
+// union filter matches fewer than theta·|q| k-mers. Bloom false
+// positives can inflate counts, so results may include extra experiments
+// (the SBT's approximation) but never miss one.
+func (t *SBT) Query(codes []uint64, theta float64) []int {
+	need := int(theta * float64(len(codes)))
+	if need < 1 {
+		need = 1
+	}
+	var out []int
+	t.descend(0, codes, need, &out)
+	return out
+}
+
+func (t *SBT) descend(node int, codes []uint64, need int, out *[]int) {
+	if node >= len(t.nodes) || t.nodes[node].filter == nil {
+		return
+	}
+	hits := 0
+	remaining := len(codes)
+	for _, c := range codes {
+		t.Probes++
+		if t.nodes[node].filter.Contains(c) {
+			hits++
+		}
+		remaining--
+		if hits >= need {
+			break // enough evidence to descend
+		}
+		if hits+remaining < need {
+			return // cannot possibly reach the threshold
+		}
+	}
+	if hits < need {
+		return
+	}
+	if t.nodes[node].exp >= 0 {
+		*out = append(*out, t.nodes[node].exp)
+		return
+	}
+	t.descend(2*node+1, codes, need, out)
+	t.descend(2*node+2, codes, need, out)
+}
+
+// SizeBits returns the total footprint of all node filters.
+func (t *SBT) SizeBits() int { return t.filterSize }
+
+// Mantis is an exact inverted index: an identity-fingerprint maplet maps
+// each k-mer to a colour-class id, and the colour table maps class ids to
+// experiment bitvectors. Colour classes are multi-word bitvectors, so the
+// experiment count is unbounded (Mantis proper indexed 40K experiments;
+// it additionally compresses the colour table, which we skip and charge
+// at raw width).
+type Mantis struct {
+	maplet  *quotient.Maplet
+	classes [][]uint64 // colour-class bitvectors, numExp bits each
+	classOf map[string]uint64
+	numExp  int
+	words   int
+	kBits   uint
+	// Probes counts maplet lookups (query CPU-cost proxy).
+	Probes int
+}
+
+// mixer spreads k-mer codes across quotients bijectively (odd multiplier
+// modulo 2^kBits), preserving exactness.
+const mixer = 0x9E3779B97F4A7C15
+
+// NewMantis builds the index over experiments (each a set of canonical
+// k-mer codes of the given k).
+func NewMantis(k int, experiments [][]uint64) *Mantis {
+	kBits := uint(2 * k)
+	words := (len(experiments) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	// Gather each k-mer's experiment bitvector.
+	colour := map[uint64][]uint64{}
+	for e, codes := range experiments {
+		for _, c := range codes {
+			bv := colour[c]
+			if bv == nil {
+				bv = make([]uint64, words)
+				colour[c] = bv
+			}
+			bv[e>>6] |= 1 << uint(e&63)
+		}
+	}
+	m := &Mantis{
+		classOf: make(map[string]uint64),
+		numExp:  len(experiments),
+		words:   words,
+		kBits:   kBits,
+	}
+	// Assign class ids to distinct bitvectors.
+	for _, bv := range colour {
+		key := bvKey(bv)
+		if _, ok := m.classOf[key]; !ok {
+			m.classOf[key] = uint64(len(m.classes))
+			m.classes = append(m.classes, bv)
+		}
+	}
+	// Size the maplet: identity fingerprints covering the full code.
+	q := uint(1)
+	for float64(uint64(1)<<q)*0.9 < float64(len(colour))*1.1 {
+		q++
+	}
+	if q >= kBits-1 {
+		q = kBits - 2
+	}
+	vBits := uint(bits.Len(uint(len(m.classes))))
+	if vBits < 1 {
+		vBits = 1
+	}
+	m.maplet = quotient.NewMapletIdentity(q, kBits-q, vBits)
+	for c, bv := range colour {
+		if err := m.maplet.Put(m.mix(c), m.classOf[bvKey(bv)]); err != nil {
+			panic("seqindex: mantis maplet full")
+		}
+	}
+	return m
+}
+
+// bvKey serializes a bitvector for map indexing.
+func bvKey(bv []uint64) string {
+	b := make([]byte, len(bv)*8)
+	for i, w := range bv {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return string(b)
+}
+
+func (m *Mantis) mix(code uint64) uint64 {
+	return (code * mixer) & (uint64(1)<<m.kBits - 1)
+}
+
+// Query returns the experiments containing at least theta of the query
+// k-mers. Exact: no false positives, no misses.
+func (m *Mantis) Query(codes []uint64, theta float64) []int {
+	need := int(theta * float64(len(codes)))
+	if need < 1 {
+		need = 1
+	}
+	counts := make([]int, m.numExp)
+	for _, c := range codes {
+		m.Probes++
+		for _, classID := range m.maplet.Get(m.mix(c)) {
+			for wi, w := range m.classes[classID] {
+				for w != 0 {
+					e := wi<<6 + bits.TrailingZeros64(w)
+					counts[e]++
+					w &= w - 1
+				}
+			}
+		}
+	}
+	var out []int
+	for e, c := range counts {
+		if c >= need {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SizeBits returns the maplet plus colour-table footprint (numExp bits
+// per class, uncompressed).
+func (m *Mantis) SizeBits() int {
+	return m.maplet.SizeBits() + len(m.classes)*m.words*64
+}

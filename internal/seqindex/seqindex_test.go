@@ -1,0 +1,178 @@
+package seqindex
+
+import (
+	"sort"
+	"testing"
+
+	"beyondbloom/internal/kmer"
+	"beyondbloom/internal/workload"
+)
+
+const testK = 15
+
+// makeExperiments builds numExp synthetic experiments; experiments share
+// a common genome backbone plus private mutations so queries hit subsets.
+func makeExperiments(numExp, genomeLen int, seed int64) ([][]uint64, [][]byte) {
+	genomes := make([][]byte, numExp)
+	sets := make([][]uint64, numExp)
+	backbone := workload.DNA(genomeLen, seed)
+	for e := 0; e < numExp; e++ {
+		g := make([]byte, genomeLen)
+		copy(g, backbone)
+		private := workload.DNA(genomeLen/4, seed+int64(e)+1)
+		g = append(g, private...)
+		genomes[e] = g
+		set := map[uint64]struct{}{}
+		kmer.Iterate(g, testK, func(code uint64) { set[code] = struct{}{} })
+		codes := make([]uint64, 0, len(set))
+		for c := range set {
+			codes = append(codes, c)
+		}
+		sets[e] = codes
+	}
+	return sets, genomes
+}
+
+func queryCodes(g []byte, from, length int) []uint64 {
+	var out []uint64
+	kmer.Iterate(g[from:from+length], testK, func(code uint64) { out = append(out, code) })
+	return out
+}
+
+// truth computes the exact experiment list for a query at threshold.
+func truth(sets [][]uint64, q []uint64, theta float64) []int {
+	need := int(theta * float64(len(q)))
+	if need < 1 {
+		need = 1
+	}
+	var out []int
+	for e, codes := range sets {
+		set := map[uint64]struct{}{}
+		for _, c := range codes {
+			set[c] = struct{}{}
+		}
+		hits := 0
+		for _, c := range q {
+			if _, ok := set[c]; ok {
+				hits++
+			}
+		}
+		if hits >= need {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestSBTFindsAllTrueExperiments(t *testing.T) {
+	sets, genomes := makeExperiments(16, 4000, 1)
+	sbt := NewSBT(sets, 12)
+	for e := 0; e < 16; e += 3 {
+		q := queryCodes(genomes[e], len(genomes[e])-800, 600) // private region
+		want := truth(sets, q, 0.8)
+		got := sbt.Query(q, 0.8)
+		// SBT may report extras (approximate) but must include every true
+		// experiment.
+		gotSet := map[int]bool{}
+		for _, g := range got {
+			gotSet[g] = true
+		}
+		for _, w := range want {
+			if !gotSet[w] {
+				t.Fatalf("SBT missed true experiment %d (query from %d)", w, e)
+			}
+		}
+	}
+}
+
+func TestSBTSharedRegionHitsAll(t *testing.T) {
+	sets, genomes := makeExperiments(8, 4000, 3)
+	sbt := NewSBT(sets, 12)
+	q := queryCodes(genomes[0], 100, 600) // backbone region: in all
+	got := sbt.Query(q, 0.8)
+	if len(got) != 8 {
+		t.Fatalf("backbone query matched %d/8 experiments", len(got))
+	}
+}
+
+func TestMantisExact(t *testing.T) {
+	sets, genomes := makeExperiments(16, 4000, 5)
+	m := NewMantis(testK, sets)
+	for e := 0; e < 16; e += 2 {
+		for _, region := range []int{100, len(genomes[e]) - 800} {
+			q := queryCodes(genomes[e], region, 600)
+			want := truth(sets, q, 0.8)
+			got := m.Query(q, 0.8)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("Mantis not exact: got %v want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Mantis not exact: got %v want %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMantisSmallerThanSBT(t *testing.T) {
+	// The tutorial: "Mantis proved to be smaller, faster, and exact
+	// compared to the SBT".
+	sets, _ := makeExperiments(32, 4000, 7)
+	sbt := NewSBT(sets, 12)
+	m := NewMantis(testK, sets)
+	if m.SizeBits() >= sbt.SizeBits() {
+		t.Errorf("Mantis %d bits >= SBT %d bits", m.SizeBits(), sbt.SizeBits())
+	}
+}
+
+func TestSBTPruning(t *testing.T) {
+	sets, _ := makeExperiments(32, 4000, 9)
+	sbt := NewSBT(sets, 12)
+	// A query of k-mers in no experiment should prune at the root:
+	// probes ≈ (1-θ)|q| at one node, not |q|·nodes.
+	foreign := workload.DNA(1000, 999)
+	var q []uint64
+	kmer.Iterate(foreign, testK, func(c uint64) { q = append(q, c) })
+	sbt.Probes = 0
+	if got := sbt.Query(q, 0.8); len(got) != 0 {
+		t.Logf("foreign query matched %d experiments (Bloom noise)", len(got))
+	}
+	if sbt.Probes > 2*len(q) {
+		t.Errorf("root pruning failed: %d probes for %d k-mers", sbt.Probes, len(q))
+	}
+}
+
+func TestMantisRejectsForeign(t *testing.T) {
+	sets, _ := makeExperiments(8, 3000, 11)
+	m := NewMantis(testK, sets)
+	foreign := workload.DNA(1000, 888)
+	var q []uint64
+	kmer.Iterate(foreign, testK, func(c uint64) { q = append(q, c) })
+	if got := m.Query(q, 0.5); len(got) != 0 {
+		t.Fatalf("Mantis (exact) matched foreign query: %v", got)
+	}
+}
+
+func TestMantisBeyond64Experiments(t *testing.T) {
+	// Multi-word colour classes: more experiments than one bitvector word.
+	sets, genomes := makeExperiments(100, 1500, 21)
+	m := NewMantis(testK, sets)
+	for _, e := range []int{0, 64, 65, 99} {
+		q := queryCodes(genomes[e], len(genomes[e])-500, 400)
+		want := truth(sets, q, 0.8)
+		got := m.Query(q, 0.8)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("exp %d: got %v want %v", e, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("exp %d: got %v want %v", e, got, want)
+			}
+		}
+	}
+}

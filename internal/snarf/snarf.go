@@ -1,0 +1,137 @@
+// Package snarf implements SNARF (Vaidya et al., §2.5 of the tutorial):
+// a "learned" range filter. A monotone linear-spline model of the keys'
+// cumulative distribution maps every key to a position in a sparse bit
+// array of m = n·expansion slots; the positions of set bits are stored
+// compressed (Elias–Fano). A range query maps its endpoints through the
+// same model and reports empty iff no stored position falls between
+// them. Monotonicity of the model guarantees no false negatives; the
+// expansion factor controls the false-positive rate (about 1/expansion
+// per unit of range after mapping). SNARF shines when the key
+// distribution is smooth — the model then spreads keys uniformly — which
+// is the "learned" trade-off the tutorial describes.
+package snarf
+
+import (
+	"sort"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/ef"
+)
+
+// splineSample is the model granularity: one knot per this many keys.
+const splineSample = 64
+
+// Filter is an immutable SNARF.
+type Filter struct {
+	knotKeys []uint64 // spline knot x-coordinates (sorted keys)
+	knotPos  []uint64 // cumulative rank at each knot
+	bits     *ef.Sequence
+	m        uint64 // sparse bit-array size
+	n        int
+}
+
+// New builds a SNARF over keys with the given expansion factor (bit-array
+// slots per key; typical values 4-16, trading space for FPR).
+func New(keys []uint64, expansion float64) *Filter {
+	if expansion < 1 {
+		panic("snarf: expansion must be >= 1")
+	}
+	sorted := make([]uint64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted = dedupSorted(sorted)
+	n := len(sorted)
+	f := &Filter{n: n, m: uint64(float64(n)*expansion) + 1}
+	if n == 0 {
+		f.bits = ef.New(nil, 1)
+		return f
+	}
+	// Spline knots: every splineSample-th key plus the extremes.
+	for i := 0; i < n; i += splineSample {
+		f.knotKeys = append(f.knotKeys, sorted[i])
+		f.knotPos = append(f.knotPos, uint64(i))
+	}
+	if f.knotKeys[len(f.knotKeys)-1] != sorted[n-1] {
+		f.knotKeys = append(f.knotKeys, sorted[n-1])
+		f.knotPos = append(f.knotPos, uint64(n-1))
+	}
+	// Map every key through the model into the sparse array.
+	positions := make([]uint64, n)
+	for i, k := range sorted {
+		positions[i] = f.position(k)
+	}
+	// Model monotonicity makes positions non-decreasing already.
+	f.bits = ef.New(positions, f.m+1)
+	return f
+}
+
+func dedupSorted(keys []uint64) []uint64 {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// position maps a key through the spline CDF model to a slot in [0, m].
+func (f *Filter) position(key uint64) uint64 {
+	nk := len(f.knotKeys)
+	if key <= f.knotKeys[0] {
+		if key < f.knotKeys[0] {
+			return 0
+		}
+		return f.rankToPos(f.knotPos[0])
+	}
+	if key >= f.knotKeys[nk-1] {
+		if key > f.knotKeys[nk-1] {
+			return f.m
+		}
+		return f.rankToPos(f.knotPos[nk-1])
+	}
+	// Binary search for the knot interval containing key (now strictly
+	// inside the knot span, so 1 <= i <= nk-1).
+	i := sort.Search(nk, func(i int) bool { return f.knotKeys[i] >= key })
+	x0, x1 := f.knotKeys[i-1], f.knotKeys[i]
+	r0, r1 := f.knotPos[i-1], f.knotPos[i]
+	frac := float64(key-x0) / float64(x1-x0)
+	rank := float64(r0) + frac*float64(r1-r0)
+	return f.rankToPos64(rank)
+}
+
+func (f *Filter) rankToPos(rank uint64) uint64 {
+	return f.rankToPos64(float64(rank))
+}
+
+func (f *Filter) rankToPos64(rank float64) uint64 {
+	pos := uint64(rank / float64(f.n) * float64(f.m))
+	if pos > f.m {
+		pos = f.m
+	}
+	return pos
+}
+
+// MayContainRange reports whether [lo, hi] may contain a key.
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if lo > hi || f.n == 0 {
+		return false
+	}
+	return !f.bits.RangeEmpty(f.position(lo), f.position(hi))
+}
+
+// Contains is a point query: the mapped slot must be occupied.
+func (f *Filter) Contains(key uint64) bool {
+	return f.MayContainRange(key, key)
+}
+
+// Len returns the number of distinct keys encoded.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBits returns the Elias–Fano payload plus the spline model (two
+// 64-bit words per knot).
+func (f *Filter) SizeBits() int {
+	return f.bits.SizeBits() + len(f.knotKeys)*128
+}
+
+var _ core.RangeFilter = (*Filter)(nil)

@@ -1,0 +1,123 @@
+package snarf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestRangeNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(10000, 1)
+	f := New(keys, 8)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		span := rng.Uint64()%100000 + 1
+		lo := k - rng.Uint64()%span
+		if lo > k {
+			lo = 0
+		}
+		hi := lo + span
+		if hi < k {
+			hi = k
+		}
+		if !f.MayContainRange(lo, hi) {
+			t.Fatalf("range [%d,%d] contains %d but reported empty", lo, hi, k)
+		}
+	}
+}
+
+func TestPointNoFalseNegatives(t *testing.T) {
+	keys := workload.Keys(20000, 3)
+	f := New(keys, 8)
+	if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestEmptyRangeFiltering(t *testing.T) {
+	// Uniform keys have a smooth CDF: SNARF's best case.
+	keys := workload.Keys(20000, 5)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	f := New(keys, 8)
+	qs := workload.UniformRanges(10000, 1<<30, ^uint64(0)-1<<31, 7)
+	var empties [][2]uint64
+	for _, q := range qs {
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q.Lo })
+		if i >= len(sorted) || sorted[i] > q.Hi {
+			empties = append(empties, [2]uint64{q.Lo, q.Hi})
+		}
+	}
+	if len(empties) < 100 {
+		t.Skip("not enough empty queries at this density")
+	}
+	if fpr := metrics.RangeFPR(f, empties); fpr > 0.35 {
+		t.Errorf("empty-range FPR %g — SNARF should filter most", fpr)
+	}
+}
+
+func TestExpansionTradesSpaceForFPR(t *testing.T) {
+	keys := workload.Keys(20000, 9)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	emptyQueries := func() [][2]uint64 {
+		qs := workload.UniformRanges(10000, 1<<28, ^uint64(0)-1<<29, 11)
+		var out [][2]uint64
+		for _, q := range qs {
+			i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q.Lo })
+			if i >= len(sorted) || sorted[i] > q.Hi {
+				out = append(out, [2]uint64{q.Lo, q.Hi})
+			}
+		}
+		return out
+	}()
+	small := New(keys, 2)
+	big := New(keys, 16)
+	fprSmall := metrics.RangeFPR(small, emptyQueries)
+	fprBig := metrics.RangeFPR(big, emptyQueries)
+	if fprBig >= fprSmall {
+		t.Errorf("expansion 16 FPR %g not below expansion 2 FPR %g", fprBig, fprSmall)
+	}
+	if big.SizeBits() <= small.SizeBits() {
+		t.Errorf("larger expansion should cost more space")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	empty := New(nil, 8)
+	if empty.Contains(1) || empty.MayContainRange(0, ^uint64(0)) {
+		t.Fatal("empty filter claims content")
+	}
+	single := New([]uint64{42}, 8)
+	if !single.Contains(42) {
+		t.Fatal("singleton lost")
+	}
+	if !single.MayContainRange(40, 50) {
+		t.Fatal("covering range reported empty")
+	}
+	dup := New([]uint64{5, 5, 5, 9}, 8)
+	if dup.Len() != 2 {
+		t.Fatalf("Len = %d", dup.Len())
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	f := New([]uint64{10}, 8)
+	if f.MayContainRange(20, 10) {
+		t.Fatal("inverted range must be empty")
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	keys := workload.Keys(1<<20, 13)
+	f := New(keys, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9E3779B97F4A7C15
+		f.MayContainRange(lo, lo+1<<20)
+	}
+}

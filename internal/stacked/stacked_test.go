@@ -1,0 +1,76 @@
+package stacked
+
+import (
+	"testing"
+
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	pos := workload.Keys(20000, 1)
+	hotNeg := workload.DisjointKeys(5000, 1)
+	f := New(pos, hotNeg, 10, 3)
+	if fn := metrics.FalseNegatives(f, pos); fn != 0 {
+		t.Fatalf("%d false negatives", fn)
+	}
+}
+
+func TestHotNegativesSuppressed(t *testing.T) {
+	// The §2.8 claim: FPR on the known hot negatives drops exponentially
+	// vs a plain filter of comparable size.
+	pos := workload.Keys(20000, 2)
+	hotNeg := workload.DisjointKeys(5000, 2)
+	f := New(pos, hotNeg, 8, 3)
+
+	plain := bloom.NewBits(len(pos), float64(f.SizeBits())/float64(len(pos)))
+	for _, k := range pos {
+		plain.Insert(k)
+	}
+
+	stackedFPR := metrics.FPR(f, hotNeg)
+	plainFPR := metrics.FPR(plain, hotNeg)
+	if plainFPR == 0 {
+		t.Skip("plain filter produced no FPs on the sample")
+	}
+	if stackedFPR > plainFPR/4 {
+		t.Errorf("stacked FPR %g not well below plain %g on hot negatives", stackedFPR, plainFPR)
+	}
+}
+
+func TestColdNegativesStillFiltered(t *testing.T) {
+	pos := workload.Keys(20000, 3)
+	hotNeg := workload.DisjointKeys(5000, 3)
+	f := New(pos, hotNeg, 10, 3)
+	coldNeg := workload.DisjointKeys(50000, 99)
+	if fpr := metrics.FPR(f, coldNeg); fpr > 0.02 {
+		t.Errorf("cold-negative FPR %g too high", fpr)
+	}
+}
+
+func TestDepthOne(t *testing.T) {
+	pos := workload.Keys(1000, 4)
+	f := New(pos, nil, 10, 1)
+	if f.Layers() != 1 {
+		t.Fatalf("Layers = %d", f.Layers())
+	}
+	if fn := metrics.FalseNegatives(f, pos); fn != 0 {
+		t.Fatal("false negatives at depth 1")
+	}
+}
+
+func TestEmptyNegativesShortCircuit(t *testing.T) {
+	pos := workload.Keys(1000, 5)
+	f := New(pos, nil, 10, 5)
+	if f.Layers() != 1 {
+		t.Fatalf("Layers = %d, want 1 when no negatives pass", f.Layers())
+	}
+}
+
+func TestEmptyPositives(t *testing.T) {
+	f := New(nil, workload.Keys(10, 6), 10, 3)
+	if f.Contains(123) {
+		t.Error("empty-positive stacked filter claims membership")
+	}
+}

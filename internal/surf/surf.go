@@ -1,0 +1,354 @@
+// Package surf implements the Succinct Range Filter (Zhang et al., §2.5
+// of the tutorial): a trie over the shortest unique prefixes of the key
+// set, encoded in LOUDS-Sparse form (one label byte plus two bitvector
+// bits per edge, navigated by rank/select), with optional per-key suffix
+// bits.
+//
+// Keys are uint64, serialized big-endian so trie order equals integer
+// order. Because keys are fixed-length, no key is a proper prefix of
+// another and the FST's terminal-label machinery is unnecessary — a
+// documented simplification that loses no behaviour for the integer
+// range-filtering problem the tutorial discusses.
+//
+// Suffix modes reproduce the paper's variants:
+//   - SuffixNone (SuRF-Base): truncated prefixes only.
+//   - SuffixHash (SuRF-Hash): a few hash bits per key cut the point-query
+//     FPR but cannot help range queries.
+//   - SuffixReal (SuRF-Real): the key bits following the prefix tighten
+//     both point and range queries.
+package surf
+
+import (
+	"sort"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// SuffixMode selects what the per-leaf suffix bits contain.
+type SuffixMode int
+
+const (
+	// SuffixNone stores no suffix bits (SuRF-Base).
+	SuffixNone SuffixMode = iota
+	// SuffixHash stores hash bits of the key (SuRF-Hash).
+	SuffixHash
+	// SuffixReal stores the key bits right after the truncated prefix
+	// (SuRF-Real).
+	SuffixReal
+)
+
+const keyBytes = 8
+
+// Filter is an immutable SuRF.
+type Filter struct {
+	labels   []byte
+	hasChild *bitvec.Vector
+	louds    *bitvec.Vector
+	hcRS     *bitvec.RankSelect
+	loudsRS  *bitvec.RankSelect
+
+	suffixes  *bitvec.Packed // one entry per leaf edge, in edge order
+	suffixLen uint
+	mode      SuffixMode
+
+	n int
+}
+
+// New builds a SuRF over keys (duplicates tolerated) with the given
+// suffix mode; suffixLen is the number of suffix bits per key (ignored
+// for SuffixNone).
+func New(keys []uint64, mode SuffixMode, suffixLen uint) *Filter {
+	if mode == SuffixNone {
+		suffixLen = 0
+	}
+	if suffixLen > 32 {
+		panic("surf: suffix length must be <= 32")
+	}
+	sorted := make([]uint64, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted = dedupSorted(sorted)
+
+	f := &Filter{
+		hasChild:  &bitvec.Vector{},
+		louds:     &bitvec.Vector{},
+		suffixLen: suffixLen,
+		mode:      mode,
+		n:         len(sorted),
+	}
+	f.build(sorted)
+	f.hcRS = bitvec.NewRankSelect(f.hasChild)
+	f.loudsRS = bitvec.NewRankSelect(f.louds)
+	return f
+}
+
+func dedupSorted(keys []uint64) []uint64 {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func keyByte(k uint64, depth int) byte {
+	return byte(k >> (8 * (keyBytes - 1 - depth)))
+}
+
+// build encodes the truncated trie in BFS (level) order: for each node, a
+// group of consecutive sorted keys sharing a prefix of the node's depth,
+// one edge per distinct next byte. Edges whose subgroup has one key are
+// leaves; larger subgroups become child nodes queued for the next level.
+func (f *Filter) build(keys []uint64) {
+	if len(keys) == 0 {
+		return
+	}
+	type group struct {
+		lo, hi, depth int // keys[lo:hi) share a prefix of depth bytes
+	}
+	var leafSuffixes []uint64
+	queue := []group{{0, len(keys), 0}}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		first := true
+		i := g.lo
+		for i < g.hi {
+			b := keyByte(keys[i], g.depth)
+			j := i + 1
+			for j < g.hi && keyByte(keys[j], g.depth) == b {
+				j++
+			}
+			f.labels = append(f.labels, b)
+			f.louds.Append(first)
+			first = false
+			if j-i == 1 {
+				f.hasChild.Append(false)
+				leafSuffixes = append(leafSuffixes, f.suffixOf(keys[i], g.depth+1))
+			} else {
+				f.hasChild.Append(true)
+				queue = append(queue, group{i, j, g.depth + 1})
+			}
+			i = j
+		}
+	}
+	if f.suffixLen > 0 {
+		f.suffixes = bitvec.NewPacked(len(leafSuffixes), f.suffixLen)
+		for i, s := range leafSuffixes {
+			f.suffixes.Set(i, s)
+		}
+	}
+}
+
+// suffixOf computes the stored suffix of key whose truncated prefix has
+// prefixBytes bytes.
+func (f *Filter) suffixOf(key uint64, prefixBytes int) uint64 {
+	switch f.mode {
+	case SuffixHash:
+		return hashutil.Mix64(key) & hashutil.Mask(f.suffixLen)
+	case SuffixReal:
+		return realSuffix(key, prefixBytes, f.suffixLen)
+	default:
+		return 0
+	}
+}
+
+// realSuffix extracts suffixLen key bits starting right after prefixBytes
+// bytes (zero-padded past the key's end).
+func realSuffix(key uint64, prefixBytes int, suffixLen uint) uint64 {
+	rem := uint(64 - 8*prefixBytes) // bits remaining after the prefix
+	tail := key & hashutil.Mask(rem)
+	if rem >= suffixLen {
+		return tail >> (rem - suffixLen)
+	}
+	return tail << (suffixLen - rem)
+}
+
+// Navigation primitives (LOUDS-Sparse):
+//
+//	Edges occupy positions 0..len(labels)-1 in BFS order. louds marks the
+//	first edge of each node; hasChild marks internal edges. The node
+//	reached by internal edge at position p starts at
+//	select1(louds, rank1(hasChild, p+1)) — child nodes appear in the same
+//	order as their parent edges, offset by one (the root).
+
+// nodeRange returns the edge positions [start, end) of the node whose
+// index (in BFS node order) is nodeID.
+func (f *Filter) nodeRange(nodeID int) (int, int) {
+	start := f.loudsRS.Select1(nodeID)
+	end := len(f.labels)
+	if nodeID+1 < f.loudsRS.Ones() {
+		end = f.loudsRS.Select1(nodeID + 1)
+	}
+	return start, end
+}
+
+// childNode returns the BFS node index of the child reached through the
+// internal edge at position p.
+func (f *Filter) childNode(p int) int {
+	// rank1(hasChild, p+1) counts internal edges up to and including p;
+	// child node IDs start at 1 (node 0 is the root).
+	return f.hcRS.Rank1(p + 1)
+}
+
+// leafIndex returns the suffix-array index of the leaf edge at position
+// p.
+func (f *Filter) leafIndex(p int) int { return f.hcRS.Rank0(p) }
+
+// findEdge locates byte b within the node's edge range via binary search
+// (labels within a node are sorted). Returns the position and whether an
+// exact match was found; on miss, pos is the first edge with label > b
+// (possibly end).
+func (f *Filter) findEdge(start, end int, b byte) (int, bool) {
+	lo, hi := start, end
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.labels[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < end && f.labels[lo] == b
+}
+
+// Contains reports whether key may be in the set.
+func (f *Filter) Contains(key uint64) bool {
+	if f.n == 0 {
+		return false
+	}
+	node := 0
+	for depth := 0; depth < keyBytes; depth++ {
+		start, end := f.nodeRange(node)
+		p, ok := f.findEdge(start, end, keyByte(key, depth))
+		if !ok {
+			return false
+		}
+		if !f.hasChild.Bit(p) {
+			if f.suffixLen == 0 {
+				return true
+			}
+			return f.suffixes.Get(f.leafIndex(p)) == f.suffixOf(key, depth+1)
+		}
+		node = f.childNode(p)
+	}
+	// All 8 bytes matched internal edges — cannot happen for deduped
+	// fixed-length keys (depth-7 edges are always leaves), but be safe.
+	return true
+}
+
+// leafBounds returns the smallest and largest full keys consistent with
+// the leaf edge at position p reached at the given depth along prefix.
+// With real suffixes the stored suffix bits tighten both bounds.
+func (f *Filter) leafBounds(prefix uint64, depth int, p int) (uint64, uint64) {
+	prefixBits := uint(8 * (depth + 1))
+	lo := prefix << (64 - prefixBits)
+	hi := lo | hashutil.Mask(64-prefixBits)
+	if f.mode == SuffixReal && f.suffixLen > 0 {
+		rem := 64 - prefixBits
+		s := f.suffixes.Get(f.leafIndex(p))
+		sb := f.suffixLen
+		if sb > rem {
+			// Suffix includes padding beyond the key: the significant
+			// part is the top rem bits.
+			s >>= sb - rem
+			sb = rem
+		}
+		lo |= s << (rem - sb)
+		hi = lo | hashutil.Mask(rem-sb)
+	}
+	return lo, hi
+}
+
+// MayContainRange reports whether [lo, hi] may intersect the key set: it
+// finds the smallest stored key interval whose upper end is >= lo and
+// checks whether its lower end is <= hi.
+func (f *Filter) MayContainRange(lo, hi uint64) bool {
+	if f.n == 0 || lo > hi {
+		return false
+	}
+	type frame struct {
+		node   int
+		pos    int // current edge position
+		end    int
+		prefix uint64
+		depth  int
+	}
+	// Descend along lo, keeping the path for backtracking.
+	var stack []frame
+	node, prefix, depth := 0, uint64(0), 0
+	for {
+		start, end := f.nodeRange(node)
+		b := keyByte(lo, depth)
+		p, ok := f.findEdge(start, end, b)
+		if ok {
+			if !f.hasChild.Bit(p) {
+				// Leaf on lo's own path: its interval contains keys with
+				// this exact prefix; check against [lo, hi].
+				lLo, lHi := f.leafBounds(prefix<<8|uint64(b), depth, p)
+				if lHi >= lo && lLo <= hi {
+					return true
+				}
+				// Key interval entirely below lo: advance to next edge.
+				stack = append(stack, frame{node, p + 1, end, prefix, depth})
+				break
+			}
+			stack = append(stack, frame{node, p + 1, end, prefix, depth})
+			node = f.childNode(p)
+			prefix = prefix<<8 | uint64(b)
+			depth++
+			continue
+		}
+		stack = append(stack, frame{node, p, end, prefix, depth})
+		break
+	}
+	// Backtrack: find the first edge after the descent point; the
+	// leftmost key below it is the successor of lo.
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fr.pos >= fr.end {
+			continue // node exhausted; pop to parent
+		}
+		// Leftmost descent from this edge gives the successor.
+		node, p, prefix, depth := fr.node, fr.pos, fr.prefix, fr.depth
+		_ = node
+		for {
+			b := f.labels[p]
+			if !f.hasChild.Bit(p) {
+				lLo, _ := f.leafBounds(prefix<<8|uint64(b), depth, p)
+				return lLo <= hi
+			}
+			child := f.childNode(p)
+			prefix = prefix<<8 | uint64(b)
+			depth++
+			p, _ = f.nodeRange(child)
+		}
+	}
+	return false // lo is beyond every stored key
+}
+
+// Len returns the number of distinct keys encoded.
+func (f *Filter) Len() int { return f.n }
+
+// Edges returns the number of trie edges (diagnostic; grows toward
+// 8 per key under adversarial shared-prefix key sets).
+func (f *Filter) Edges() int { return len(f.labels) }
+
+// SizeBits returns the encoding footprint: labels, the two edge
+// bitvectors with their rank directories, and suffix bits.
+func (f *Filter) SizeBits() int {
+	bits := len(f.labels)*8 + f.hasChild.SizeBits() + f.louds.SizeBits()
+	if f.hcRS != nil {
+		bits += f.hcRS.SizeBits() + f.loudsRS.SizeBits()
+	}
+	if f.suffixes != nil {
+		bits += f.suffixes.SizeBits()
+	}
+	return bits
+}
+
+var _ core.RangeFilter = (*Filter)(nil)

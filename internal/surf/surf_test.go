@@ -1,0 +1,200 @@
+package surf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"beyondbloom/internal/metrics"
+	"beyondbloom/internal/workload"
+)
+
+func TestNoFalseNegativesPoint(t *testing.T) {
+	for _, mode := range []SuffixMode{SuffixNone, SuffixHash, SuffixReal} {
+		keys := workload.Keys(20000, 1)
+		f := New(keys, mode, 8)
+		if fn := metrics.FalseNegatives(f, keys); fn != 0 {
+			t.Fatalf("mode %d: %d false negatives", mode, fn)
+		}
+	}
+}
+
+func TestPointFPRImprovesWithSuffix(t *testing.T) {
+	keys := workload.Keys(20000, 2)
+	neg := workload.DisjointKeys(100000, 2)
+	base := metrics.FPR(New(keys, SuffixNone, 0), neg)
+	hash8 := metrics.FPR(New(keys, SuffixHash, 8), neg)
+	if base == 0 {
+		t.Skip("base produced no FPs (keyspace too sparse)")
+	}
+	if hash8 > base/4 {
+		t.Errorf("8 hash suffix bits: FPR %g, want well below base %g", hash8, base)
+	}
+}
+
+func TestRangeNoFalseNegatives(t *testing.T) {
+	// Ranges that definitely contain a key must always return true.
+	rng := rand.New(rand.NewSource(3))
+	keys := workload.Keys(5000, 3)
+	for _, mode := range []SuffixMode{SuffixNone, SuffixReal} {
+		f := New(keys, mode, 8)
+		for i := 0; i < 2000; i++ {
+			k := keys[rng.Intn(len(keys))]
+			span := rng.Uint64() % 1000
+			lo := k - span/2
+			if lo > k { // underflow
+				lo = 0
+			}
+			hi := lo + span
+			if hi < lo {
+				hi = ^uint64(0)
+			}
+			if k < lo || k > hi {
+				continue
+			}
+			if !f.MayContainRange(lo, hi) {
+				t.Fatalf("mode %d: range [%d,%d] contains key %d but filter says empty", mode, lo, hi, k)
+			}
+		}
+	}
+}
+
+func TestRangeAgainstNaive(t *testing.T) {
+	// Small universe so truncation intervals are exercised hard; compare
+	// conservative correctness (no false negatives) and measure that
+	// answers aren't always-true.
+	keys := workload.SmallUniverseKeys(300, 1<<20, 7)
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	f := New(keys, SuffixReal, 8)
+	rng := rand.New(rand.NewSource(9))
+	trueEmpty, saidEmpty := 0, 0
+	for i := 0; i < 5000; i++ {
+		lo := rng.Uint64() % (1 << 20)
+		hi := lo + rng.Uint64()%64
+		idx := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+		actual := idx < len(sorted) && sorted[idx] <= hi
+		got := f.MayContainRange(lo, hi)
+		if actual && !got {
+			t.Fatalf("false negative on range [%d,%d]", lo, hi)
+		}
+		if !actual {
+			trueEmpty++
+			if !got {
+				saidEmpty++
+			}
+		}
+	}
+	if trueEmpty > 0 && saidEmpty == 0 {
+		t.Error("filter never identified an empty range (no filtering power)")
+	}
+}
+
+func TestEmptyRangeFPRReasonable(t *testing.T) {
+	keys := workload.Keys(20000, 5)
+	f := New(keys, SuffixReal, 8)
+	qs := workload.UniformRanges(20000, 16, ^uint64(0)-16, 11)
+	var empties [][2]uint64
+	keySet := map[uint64]bool{}
+	for _, k := range keys {
+		keySet[k] = true
+	}
+	for _, q := range qs {
+		hit := false
+		for k := q.Lo; k <= q.Hi; k++ {
+			if keySet[k] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			empties = append(empties, [2]uint64{q.Lo, q.Hi})
+		}
+	}
+	if fpr := metrics.RangeFPR(f, empties); fpr > 0.05 {
+		t.Errorf("range FPR %g too high for sparse keys", fpr)
+	}
+}
+
+func TestAdversarialPrefixBlowup(t *testing.T) {
+	// The tutorial's SuRF limitation: keys sharing unique long prefixes
+	// force the trie to store almost every byte, destroying space
+	// efficiency relative to a random key set.
+	n := 10000
+	randomKeys := workload.Keys(n, 13)
+	advKeys := workload.AdversarialPrefixKeys(n, 13)
+	fr := New(randomKeys, SuffixNone, 0)
+	fa := New(advKeys, SuffixNone, 0)
+	if fa.Edges() < fr.Edges()*2 {
+		t.Errorf("adversarial edges %d vs random %d — expected blowup", fa.Edges(), fr.Edges())
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	empty := New(nil, SuffixNone, 0)
+	if empty.Contains(5) || empty.MayContainRange(0, ^uint64(0)) {
+		t.Fatal("empty filter claims membership")
+	}
+	single := New([]uint64{42}, SuffixReal, 8)
+	if !single.Contains(42) {
+		t.Fatal("singleton lost")
+	}
+	if !single.MayContainRange(0, 100) {
+		t.Fatal("range containing the only key reported empty")
+	}
+	// A single key truncates to its first byte, so nearby ranges fall
+	// inside its truncation interval (genuine SuRF behaviour). Ranges in
+	// a different top byte must be filtered out.
+	if single.MayContainRange(1<<60, 1<<60+1000) {
+		t.Fatal("range in a different top byte reported non-empty")
+	}
+	dup := New([]uint64{7, 7, 7}, SuffixNone, 0)
+	if dup.Len() != 1 {
+		t.Fatalf("Len = %d after dedup", dup.Len())
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	f := New([]uint64{10}, SuffixNone, 0)
+	if f.MayContainRange(20, 10) {
+		t.Fatal("inverted range must be empty")
+	}
+}
+
+func TestDenseSequentialKeys(t *testing.T) {
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f := New(keys, SuffixNone, 0)
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("sequential key %d lost", k)
+		}
+	}
+	if !f.MayContainRange(100, 200) {
+		t.Fatal("in-set range reported empty")
+	}
+	if f.MayContainRange(5000, 6000) {
+		t.Fatal("out-of-set range reported non-empty for dense keys")
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	keys := workload.Keys(1<<20, 21)
+	f := New(keys, SuffixHash, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Contains(uint64(i))
+	}
+}
+
+func BenchmarkRange(b *testing.B) {
+	keys := workload.Keys(1<<20, 23)
+	f := New(keys, SuffixReal, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := uint64(i) * 0x9E3779B97F4A7C15
+		f.MayContainRange(lo, lo+1024)
+	}
+}

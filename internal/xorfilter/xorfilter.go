@@ -1,0 +1,151 @@
+// Package xorfilter implements the XOR filter (Graf & Lemire, §2.7 of
+// the tutorial): a static, algebraic filter built by hypergraph peeling.
+// Each key maps to three slots in three equal segments; construction
+// assigns slot values so the XOR of a key's three slots equals its
+// fingerprint. The structure uses about 1.23·n·f bits for f-bit
+// fingerprints and answers queries with exactly three memory probes.
+package xorfilter
+
+import (
+	"errors"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// ErrConstruction is returned when peeling fails after all seed retries
+// (vanishingly unlikely at the 1.23 sizing factor).
+var ErrConstruction = errors.New("xorfilter: construction failed")
+
+// Filter is an immutable XOR filter.
+type Filter struct {
+	slots  *bitvec.Packed
+	segLen uint64 // slots per segment (3 segments)
+	fpBits uint
+	seed   uint64
+	n      int
+}
+
+// sizingFactor is the standard 1.23 slot-per-key overhead.
+const sizingFactor = 1.23
+
+// New builds an XOR filter over keys with fpBits-bit fingerprints
+// (false-positive rate 2^-fpBits). Duplicate keys are tolerated.
+func New(keys []uint64, fpBits uint) (*Filter, error) {
+	if fpBits < 1 || fpBits > 32 {
+		panic("xorfilter: fingerprint bits must be in [1,32]")
+	}
+	keys = dedup(keys)
+	n := len(keys)
+	segLen := uint64(float64(n)*sizingFactor/3) + 11
+	for seed := uint64(1); seed <= 64; seed++ {
+		f := &Filter{
+			slots:  bitvec.NewPacked(int(3*segLen), fpBits),
+			segLen: segLen,
+			fpBits: fpBits,
+			seed:   seed * 0x9E3779B97F4A7C15,
+			n:      n,
+		}
+		if f.build(keys) {
+			return f, nil
+		}
+	}
+	return nil, ErrConstruction
+}
+
+func dedup(keys []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(keys))
+	out := keys[:0:0]
+	for _, k := range keys {
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// hashes returns the three slot indices and the fingerprint for key.
+func (f *Filter) hashes(key uint64) (h [3]uint64, fp uint64) {
+	x := hashutil.MixSeed(key, f.seed)
+	fp = hashutil.Fingerprint(x, f.fpBits)
+	h[0] = hashutil.Reduce(x, f.segLen)
+	h[1] = f.segLen + hashutil.Reduce(hashutil.Mix64(x+1), f.segLen)
+	h[2] = 2*f.segLen + hashutil.Reduce(hashutil.Mix64(x+2), f.segLen)
+	return
+}
+
+// build runs the peeling construction: repeatedly remove keys that are
+// the sole occupant of some slot, then assign fingerprints in reverse.
+func (f *Filter) build(keys []uint64) bool {
+	m := int(3 * f.segLen)
+	// Per-slot XOR of incident key ids and degree counts.
+	xorKey := make([]uint64, m)
+	degree := make([]int32, m)
+	for _, k := range keys {
+		h, _ := f.hashes(k)
+		for _, s := range h {
+			xorKey[s] ^= k
+			degree[s]++
+		}
+	}
+	// Peel queue: slots of degree 1.
+	stackSlot := make([]uint64, 0, len(keys))
+	stackKey := make([]uint64, 0, len(keys))
+	queue := make([]int, 0, m)
+	for s := 0; s < m; s++ {
+		if degree[s] == 1 {
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if degree[s] != 1 {
+			continue
+		}
+		k := xorKey[s]
+		stackSlot = append(stackSlot, uint64(s))
+		stackKey = append(stackKey, k)
+		h, _ := f.hashes(k)
+		for _, hs := range h {
+			xorKey[hs] ^= k
+			degree[hs]--
+			if degree[hs] == 1 {
+				queue = append(queue, int(hs))
+			}
+		}
+	}
+	if len(stackKey) != len(keys) {
+		return false // 2-core non-empty; retry with a new seed
+	}
+	// Assign in reverse peel order.
+	for i := len(stackKey) - 1; i >= 0; i-- {
+		k := stackKey[i]
+		slot := stackSlot[i]
+		h, fp := f.hashes(k)
+		v := fp
+		for _, hs := range h {
+			if hs != slot {
+				v ^= f.slots.Get(int(hs))
+			}
+		}
+		f.slots.Set(int(slot), v)
+	}
+	return true
+}
+
+// Contains reports whether key may be in the set.
+func (f *Filter) Contains(key uint64) bool {
+	h, fp := f.hashes(key)
+	return f.slots.Get(int(h[0]))^f.slots.Get(int(h[1]))^f.slots.Get(int(h[2])) == fp
+}
+
+// Len returns the number of keys the filter was built over.
+func (f *Filter) Len() int { return f.n }
+
+// SizeBits returns the footprint in bits.
+func (f *Filter) SizeBits() int { return f.slots.SizeBits() }
+
+var _ core.Filter = (*Filter)(nil)

@@ -1,0 +1,119 @@
+package yesno
+
+import (
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+)
+
+// Seesaw is a seesaw-counting-filter-style blocker (Li et al., §3.3): a
+// counting-Bloom yes-list whose cells can be "pressed down" to protect
+// benign keys. The static no-list is applied at build time; the dynamic
+// extension decrements a discovered victim's cells so it stops being
+// blocked.
+//
+// The tutorial's caveat is the point of this implementation: the dynamic
+// extension "is not guaranteed to prevent false positives by doing so
+// and can also introduce false negatives" — decrementing a cell shared
+// with a malicious URL can release that URL. Experiment E14 measures
+// both effects next to the adaptive filter, which has neither.
+type Seesaw struct {
+	counters *bitvec.Packed
+	m        uint64
+	k        uint
+	seed     uint64
+	maxCount uint64
+}
+
+// NewSeesaw builds the blocker over malicious URLs with bitsPerKey cells
+// (4-bit counters) and a static no-list applied at build time.
+func NewSeesaw(malicious, staticNoList []string, bitsPerKey float64) *Seesaw {
+	n := max(len(malicious), 1)
+	m := uint64(float64(n) * bitsPerKey)
+	if m < 64 {
+		m = 64
+	}
+	s := &Seesaw{
+		counters: bitvec.NewPacked(int(m), 4),
+		m:        m,
+		k:        uint(core.BloomOptimalK(bitsPerKey)),
+		seed:     0x5EE5A0,
+		maxCount: 15,
+	}
+	for _, u := range malicious {
+		s.press(Key(u), +1)
+	}
+	for _, u := range staticNoList {
+		s.Protect(u)
+	}
+	return s
+}
+
+func (s *Seesaw) cells(key uint64, fn func(pos int)) {
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, s.seed))
+	for i := uint(0); i < s.k; i++ {
+		fn(int(hashutil.Reduce(hashutil.KHash(h1, h2, i), s.m)))
+	}
+}
+
+// press adjusts a key's cells by +1 (yes side) or, for delta -1, presses
+// them toward the no side (clamped at 0).
+func (s *Seesaw) press(key uint64, delta int) {
+	s.cells(key, func(pos int) {
+		v := s.counters.Get(pos)
+		if delta > 0 {
+			if v < s.maxCount {
+				s.counters.Set(pos, v+1)
+			}
+			return
+		}
+		if v > 0 {
+			s.counters.Set(pos, v-1)
+		}
+	})
+}
+
+// Protect adds url to the no-list dynamically: its cells are pressed
+// down until at least one is zero, so the url stops being blocked. Cells
+// shared with malicious URLs lose a count — the documented
+// false-negative hazard.
+func (s *Seesaw) Protect(url string) {
+	key := Key(url)
+	for round := 0; round < int(s.maxCount); round++ {
+		zero := false
+		s.cells(key, func(pos int) {
+			if s.counters.Get(pos) == 0 {
+				zero = true
+			}
+		})
+		if zero {
+			return
+		}
+		s.press(key, -1)
+	}
+}
+
+// Check blocks when every cell is positive; verified-benign hits are
+// dynamically protected (the SSCF extension).
+func (s *Seesaw) Check(url string, isMalicious bool) Verdict {
+	key := Key(url)
+	blocked := true
+	s.cells(key, func(pos int) {
+		if s.counters.Get(pos) == 0 {
+			blocked = false
+		}
+	})
+	if !blocked {
+		return Verdict{}
+	}
+	if !isMalicious {
+		s.Protect(url)
+		return Verdict{Verified: true}
+	}
+	return Verdict{Blocked: true, Verified: true}
+}
+
+// SizeBits returns the counter array footprint.
+func (s *Seesaw) SizeBits() int { return s.counters.SizeBits() }
+
+var _ Blocker = (*Seesaw)(nil)

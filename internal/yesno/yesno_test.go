@@ -1,0 +1,205 @@
+package yesno
+
+import (
+	"math/rand"
+	"testing"
+
+	"beyondbloom/internal/workload"
+)
+
+// traffic builds a stream with a hot benign subset (the repeatedly
+// visited sites the tutorial worries about) plus malicious hits.
+func traffic(malicious, benign []string, hot []string, n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]string, n)
+	for i := range stream {
+		switch r := rng.Float64(); {
+		case r < 0.05:
+			stream[i] = malicious[rng.Intn(len(malicious))]
+		case r < 0.65:
+			stream[i] = hot[rng.Intn(len(hot))]
+		default:
+			stream[i] = benign[rng.Intn(len(benign))]
+		}
+	}
+	return stream
+}
+
+func setup(seed int64) (malicious, benign, hot []string, malSet map[string]bool) {
+	urls := workload.URLs(30000, seed)
+	malicious = urls[:10000]
+	benign = urls[10000:]
+	hot = benign[:200]
+	malSet = map[string]bool{}
+	for _, u := range malicious {
+		malSet[u] = true
+	}
+	return
+}
+
+func TestAllMaliciousBlocked(t *testing.T) {
+	malicious, benign, hot, malSet := setup(1)
+	stream := traffic(malicious, benign, hot, 50000, 2)
+	for name, b := range map[string]Blocker{
+		"plain":    NewPlainBloom(malicious, 10),
+		"static":   NewStaticNoList(malicious, hot, 10),
+		"adaptive": NewAdaptive(malicious, 15, 8),
+	} {
+		st := Run(b, stream, malSet)
+		// Every malicious request must be blocked (no false negatives).
+		wantBlocked := 0
+		for _, u := range stream {
+			if malSet[u] {
+				wantBlocked++
+			}
+		}
+		if st.Blocked != wantBlocked {
+			t.Errorf("%s: blocked %d, want %d", name, st.Blocked, wantBlocked)
+		}
+	}
+}
+
+func TestAdaptiveStopsRepayingHotBenign(t *testing.T) {
+	malicious, benign, hot, malSet := setup(3)
+	stream := traffic(malicious, benign, hot, 100000, 4)
+
+	plain := NewPlainBloom(malicious, 8)
+	adaptiveB := NewAdaptive(malicious, 15, 6) // coarse: FPs frequent
+
+	stPlain := Run(plain, stream, malSet)
+	stAdaptive := Run(adaptiveB, stream, malSet)
+
+	if stPlain.FalseBlocks == 0 {
+		t.Skip("plain filter produced no false blocks at this density")
+	}
+	// Adaptive should pay O(distinct benign URLs) once each, far fewer
+	// than plain's per-visit penalty on hot URLs.
+	if stAdaptive.FalseBlocks*4 > stPlain.FalseBlocks {
+		t.Errorf("adaptive false blocks %d not well below plain %d",
+			stAdaptive.FalseBlocks, stPlain.FalseBlocks)
+	}
+}
+
+func TestStaticNoListProtectsKnownHot(t *testing.T) {
+	malicious, _, hot, malSet := setup(5)
+	// Stream of ONLY the known hot benign URLs: the no-list covers
+	// exactly these, so false blocks should all but vanish. (Cold benign
+	// URLs remain unprotected — the static design's limitation, measured
+	// by experiment E14.)
+	rng := rand.New(rand.NewSource(6))
+	onlyHot := make([]string, 30000)
+	for i := range onlyHot {
+		onlyHot[i] = hot[rng.Intn(len(hot))]
+	}
+	static := NewStaticNoList(malicious, hot, 10)
+	plain := NewPlainBloom(malicious, 10)
+	stStatic := Run(static, onlyHot, malSet)
+	stPlain := Run(plain, onlyHot, malSet)
+	if stPlain.FalseBlocks == 0 {
+		t.Skip("plain produced no false blocks on the hot set")
+	}
+	if stStatic.FalseBlocks > stPlain.FalseBlocks/10 {
+		t.Errorf("static no-list false blocks %d vs plain %d on known-hot traffic", stStatic.FalseBlocks, stPlain.FalseBlocks)
+	}
+}
+
+func TestAdaptiveSecondVisitFree(t *testing.T) {
+	malicious, _, _, _ := setup(7)
+	b := NewAdaptive(malicious, 15, 6)
+	// Find a benign URL that false-positives.
+	probe := workload.URLs(50000, 99)
+	var fp string
+	for _, u := range probe {
+		if b.filter.Contains(Key(u)) {
+			fp = u
+			break
+		}
+	}
+	if fp == "" {
+		t.Skip("no FP found")
+	}
+	first := b.Check(fp, false)
+	if !first.Verified {
+		t.Fatal("first visit should verify")
+	}
+	second := b.Check(fp, false)
+	if second.Verified || second.Blocked {
+		t.Fatal("second visit still paying after adaptation")
+	}
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	if Key("http://a.com/x") != Key("http://a.com/x") {
+		t.Fatal("Key not deterministic")
+	}
+	if Key("http://a.com/x") == Key("http://a.com/y") {
+		t.Fatal("distinct URLs share keys (hash collapse)")
+	}
+}
+
+func TestSeesawBlocksMalicious(t *testing.T) {
+	malicious, _, hot, _ := setup(9)
+	s := NewSeesaw(malicious, nil, 10)
+	for _, u := range malicious[:2000] {
+		v := s.Check(u, true)
+		if !v.Blocked {
+			t.Fatalf("malicious URL not blocked before any protection")
+		}
+	}
+	_ = hot
+}
+
+func TestSeesawProtectStopsBlocking(t *testing.T) {
+	malicious, _, _, _ := setup(11)
+	s := NewSeesaw(malicious, nil, 8)
+	// Find a benign URL that gets blocked (false positive).
+	probe := workload.URLs(100000, 77)
+	var fp string
+	for _, u := range probe {
+		if v := s.Check(u, false); v.Verified {
+			fp = u
+			break
+		}
+	}
+	if fp == "" {
+		t.Skip("no false positive found")
+	}
+	// Check fired Protect already; second visit must pass free.
+	if v := s.Check(fp, false); v.Verified {
+		t.Fatal("protected URL still paying")
+	}
+}
+
+func TestSeesawDynamicProtectionCausesFalseNegatives(t *testing.T) {
+	// The tutorial's caveat: pressing down cells to protect benign URLs
+	// can release malicious ones. Protect many benign URLs and count
+	// malicious URLs that are no longer blocked.
+	malicious, benign, _, _ := setup(13)
+	s := NewSeesaw(malicious, nil, 8)
+	for _, u := range benign[:5000] {
+		s.Protect(u)
+	}
+	released := 0
+	for _, u := range malicious {
+		if v := s.Check(u, true); !v.Blocked {
+			released++
+		}
+	}
+	if released == 0 {
+		t.Error("expected false negatives after aggressive dynamic protection (the documented SSCF hazard)")
+	}
+	t.Logf("released %d/%d malicious URLs after 5000 dynamic protections", released, len(malicious))
+}
+
+func TestSeesawStaticNoList(t *testing.T) {
+	malicious, _, hot, malSet := setup(15)
+	s := NewSeesaw(malicious, hot, 10)
+	stream := make([]string, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		stream = append(stream, hot[i%len(hot)])
+	}
+	st := Run(s, stream, malSet)
+	if st.FalseBlocks > 0 {
+		t.Errorf("static no-list members still false-blocked %d times", st.FalseBlocks)
+	}
+}

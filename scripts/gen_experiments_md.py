@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the output of `beyondbloom exp all`.
+
+Usage: go run ./cmd/beyondbloom exp all > exp_full_output.txt
+       python3 scripts/gen_experiments_md.py exp_full_output.txt > EXPERIMENTS.md
+"""
+import sys
+import re
+
+COMMENTARY = {
+    "E1": """**Paper claim (§2, §2.7).** A dynamic filter needs n·lg(1/ε)+Ω(n) bits: the
+quotient filter pays +2.125n (RSQF layout; the original 3-bit layout pays
++3n), the cuckoo filter +3n, while a Bloom filter pays a multiplicative
+1.44·n·lg(1/ε) — so Bloom wins only when ε is large. Static filters do
+better: XOR = 1.23·n·lg(1/ε), ribbon ≈ 1.005·n·lg(1/ε)+0.008n.
+
+**Measured.** The table reproduces every shape: Bloom's overhead is exactly
+1.44× at every ε; the fingerprint filters' additive overhead (2.125 or 3
+bits, divided by the 0.93 load factor) makes Bloom win at ε=2⁻⁴ and lose
+from 2⁻⁸ on; `quotient(rsqf)` sits below `quotient(3bit)` by the predicted
+~0.9 bits/key; XOR measures 1.23× throughout; our ribbon (1.05
+provisioning, without the paper's smash/bumping refinements) lands at
+1.07-1.08×. Measured FPRs track the targets.""",
+
+    "E2": """**Paper claim (§2.1).** Quotient filters resolve collisions by Robin-Hood
+shifting, cuckoo filters by kicking; both degrade as occupancy rises, and
+these mechanics define the dynamic-filter performance envelope.
+
+**Measured.** Both filters lose insert throughput monotonically with load;
+the quotient filter (whose mutations here rewrite the enclosing region —
+see DESIGN.md §3) falls off faster, the cuckoo filter keeps ~10 Mops
+inserts at 0.95 load where its kick chains lengthen. Lookups stay fast for
+both, as the paper's mechanics predict.""",
+
+    "E3": """**Paper claim (§2.2).** Plain quotient-filter doubling sacrifices one
+fingerprint bit per expansion, so its FPR doubles each time "and
+eventually the fingerprint bits run out"; chained filters keep their FPR
+but queries must probe every link; InfiniFilter expands while keeping fast
+queries and a stable FPR.
+
+**Measured.** `qf_doubling` doubles its FPR with each doubling (5e-4 →
+3.1e-2 across six expansions). `chained_cuckoo` tracks the same compound
+FPR growth (one ε per link) and pays ~1.8µs per query across 33 links;
+`scalable_bloom` holds FPR flat by tightening each stage but pays 46
+bits/key and 7-probe queries. `infinifilter` holds ~1e-4 FPR flat through
+six doublings with single-structure queries — the paper's punchline —
+while the preallocated baseline needs the final size up front.""",
+
+    "E4": """**Paper claim (§2.3).** An adaptive filter sees O(εn) false positives on
+*any* sequence of n negative queries, even adversarially repeated ones;
+static filters repay the same FP forever. Bender et al. also compare
+adapting against caching recent FPs.
+
+**Measured.** In the repeat attack (50 discovered FPs replayed 1000×), the
+static cuckoo filter pays on every repeat (~25k FPs), the bounded FP cache
+thrashes once distinct FPs exceed its 16 slots (~15k FPs), while the
+adaptive cuckoo (selector swap) and adaptive QF (broom-style extensions)
+pay ~once per distinct FP (23 and 2 total). Under Zipfian negatives the
+ordering is the same with smaller gaps — the skew is what a cache can
+partially exploit, exactly the adapt-vs-cache trade of the literature.""",
+
+    "E5": """**Paper claim (§2.4).** Bloomier filters have PRS = NRS = 1 but a frozen
+key set; quotient/cuckoo maplets have PRS = 1+ε and NRS = ε with full
+dynamism; SlimDB-style collision resolution buys PRS = 1 dynamically by
+spilling colliding keys to an auxiliary dictionary.
+
+**Measured.** All four maplets return the correct value for every present
+key (wrong_value_rate 0). The dynamic maplets' NRS ≈ 0.003 ≈ ε·(1+slack);
+their PRS of 1.00(+ε, hidden by rounding) against Bloomier's exactly-1 and
+the resolving maplet's exactly-1 match the taxonomy. Space is comparable
+across designs at these parameters.""",
+
+    "E6": """**Paper claim (§2.5).** Rosetta is robust for point and short-range
+queries but "as the querying range gets larger, Rosetta's FPR grows
+rapidly and eventually provides no filtering"; Grafite "exhibits a more
+robust performance under workloads with high correlations between keys
+and queries"; an adversarial key set (each pair sharing a unique long
+prefix) "can destroy SuRF's space efficiency"; SNARF is learned and
+CDF-dependent; ARF "only works well with a stable or repeating integer
+workload".
+
+**Measured.** (a) Rosetta: 0.01 → 1.00 FPR as ranges grow from 1 to 64k;
+Grafite flat near 0 until its provisioned max length; SuRF low throughout
+(uniform random keys are its friendly case); SNARF a flat ~0.06 at its
+9-bit budget; trained ARF answers its trained workload at ~0.01. (b) The
+correlated workload (queries starting 2 past a key): SuRF, SNARF and
+Proteus collapse to FPR ≈ 1.0 while Grafite stays at 0 and Rosetta at
+~0.01 — precisely the robustness claim. (c) Adversarial prefix pairs
+inflate SuRF from 14.3 to 42.4 bits/key; Grafite is structurally immune
+(27.5 both ways).""",
+
+    "E7": """**Paper claim (§2.6).** Fixed-width CBF counters saturate (and deletes can
+then under-count); the d-left CBF saves "a factor of two or more" over a
+CBF; the spectral filter handles skew with variable-width counters; the
+CQF's variable-length counters make its space scale with distinct keys,
+not total count, on skewed input.
+
+**Measured.** (a) The CBF saturates tens of thousands of 4-bit counters
+under Zipf skew and mis-counts ~10% of keys; d-left uses ~half the CBF's
+space (31 vs 54 bits at s=1.1, the paper's "factor of two or more"); the
+CQF is close behind at low skew and pulls far ahead as skew grows (67 vs
+124-215 at s=1.5, 515 vs 950-1650 at s=2.0) — its space scaling with
+distinct keys, not total count; the spectral filter is exact everywhere
+but pays for its fixed base array. (b) The delete-fidelity table shows
+the tutorial's hazard directly: after inserting 100 and deleting 100, the
+saturated CBF still reads 15 (stuck), while the CQF reads 0.""",
+
+    "E8": """**Paper claim (§2.7).** Static filters approach n·lg(1/ε) bits; ribbon is
+the smallest with "better construction and query times" than previous
+algebraic filters, "though its query times remain slower than the fast
+competing filters".
+
+**Measured.** ribbon 8.8 < xor 9.84 < bloom 11.54 bits/key at ε=2⁻⁸; build
+cost bloom ≪ xor < ribbon; query cost xor < bloom ≪ ribbon (4×) — the
+space-vs-query trade the paper describes, with all measured FPRs on
+target.""",
+
+    "E9": """**Paper claim (§2.8).** Stacked filters "exploit knowledge of frequently
+queried non-existing keys ... and thereby exponentially decrease the false
+positive rate when querying for them"; classifier-based filters learn to
+answer hot positives directly and "avoid having to insert them into a
+regular filter to save space".
+
+**Measured.** At equal total space, the 3-layer stack cuts hot-negative
+FPR from 1.8e-2 to 4e-4 and the 5-layer stack to 0, while cold-negative
+FPR stays ~2e-2 — the exponential suppression. The learned variant (E9b)
+absorbs the Zipf-hot positive keys into its classifier and undercuts the
+plain filter's space at a high-precision budget; with our memorizing
+classifier the saving is bounded by (budget − 16) bits per hot key, as
+noted in DESIGN.md.""",
+
+    "E10": """**Paper claim (§3.1).** Per-file Bloom filters let point queries skip
+files; Monkey's allocation reduces query cost from O(ε·lg N) to O(ε);
+maplets (SlimDB/Chucky) map each key straight to its file; Dostoevsky's
+lazy leveling cuts write amplification without hurting point reads.
+
+**Measured.** (a) Misses cost 4 I/Os unfiltered (one per level), 0.035
+with uniform Blooms, 0.0125 with Monkey (sum of FPRs dominated by the last
+level) and 0.011 with the global maplet — which also probes one filter
+instead of four per query. (b) Compaction: write amp tiering 4.0 < lazy
+leveling 5.8 < leveling 8.8, read cost tiering ~3× leveling while lazy
+leveling matches leveling's reads — Dostoevsky's trade, reproduced.""",
+
+    "E11": """**Paper claim (§3.1/§2.5).** Range filters exist to avoid "unnecessary
+disk I/Os for a range query" on LSM-trees (the `BETWEEN` query of the
+introduction).
+
+**Measured.** Unfiltered empty scans always cost one I/O per overlapping
+run; SuRF and Grafite eliminate essentially all of it (0 and 0.003 I/O per
+empty scan), Rosetta most of it (0.09 at this budget), while scans that do
+return data still pay their single productive I/O.""",
+
+    "E12": """**Paper claim (§3.2).** The CQF underlies exact and approximate k-mer
+counting (Squeakr); a Bloom-filter de Bruijn graph has "little effect on
+the large-scale structure of the graph until the false positive rate
+becomes very high (i.e., ≥ 0.15)" (Pell et al.); removing the *critical*
+false positives yields an exact navigational representation (Chikhi &
+Rizk); a cascading Bloom filter shrinks that correction structure
+(Salikhov et al.); deBGR self-corrects a weighted graph using abundance
+invariants.
+
+**Measured.** (a) The approximate CQF counter stores ~90k distinct 17-mers
+in 32 bits each vs 128 for a Go map; the exact-fingerprint CQF (56 bits)
+is still ~2.3× smaller than the map. (b) Graph structure: components and
+phantom-neighbor rate stay benign at FPR 0.0009-0.023, then explode
+between FPR 0.15 and 0.24 — the 0.15 threshold (the huge component counts
+at high FPR are the capped-percolation artifact described in the package
+docs; the phantom-rate column is the clean signal). (c) The exact table
+costs 21 bits/k-mer; the cascade replaces it at 3.6 bits/k-mer — the
+memory reduction claim. (d) deBGR-style correction repairs 80-85% of the
+coarse CQF's wrong counts with zero undercounts.""",
+
+    "E13": """**Paper claim (§3.2).** "Mantis proved to be smaller, faster, and exact
+compared to the SBT which is an approximate index."
+
+**Measured.** Mantis: 0.69 MiB, exact, ~590 maplet probes per query. SBT:
+3.2 MiB, approximate, ~3400 Bloom probes per query. Both answered this
+workload's queries correctly (the SBT's approximation shows as extra
+probes and space, not errors, at 12 bits/k-mer).""",
+
+    "E14": """**Paper claim (§3.3).** Filters front malicious-URL blocklists; important
+benign URLs must not repeatedly pay the verification penalty. Static
+no-lists (Bloomier/SSCF/Integrated) protect only a known benign set;
+adaptive filters "solve the yes/no list problem in both the static and
+dynamic case".
+
+**Measured.** Per-window benign false blocks: plain Bloom is flat (~380
+per window, forever); the static no-list is flat at ~130 (protects the
+known hot set, cold benign URLs keep paying); the seesaw's dynamic
+extension converges further but *misses ~800 malicious requests* — the
+false negatives the tutorial warns its cell-pressing "can also
+introduce"; the adaptive blocker decays 71 → 11 across ten windows while
+blocking every malicious request — the guaranteed solution to the
+dynamic yes/no-list problem.""",
+
+    "E15": """**Paper claim (§3.1).** Circular-log engines "flush all application
+insertions/updates/deletes as log records into an append-only file ...
+occasionally garbage-collect ... there is a maplet in memory to map each
+entry in the log. It is crucial for these maplets to support updates,
+deletes, and expansion ... Interestingly, no system that we are aware of
+uses maplets that meet these requirements."
+
+**Measured.** The expandable quotient maplet meets all three
+requirements in one structure: it doubles several times during load
+(expansion), gets re-pointed on every update and GC move (updates), and
+sheds mappings on tombstones (deletes). Lookup cost stays at ~1 log read
+per hit (PRS = 1+ε) through every phase, and GC write amplification grows
+with update churn exactly as a log-structured engine's should. The miss
+cost is ε — but note ε itself has grown: this maplet expands by the §2.2
+bit-sacrifice mechanism, so each doubling doubles NRS. That residual is
+precisely the gap the tutorial says InfiniFilter-style maplets should
+close, measured in one table.""",
+
+    "A1": """SuRF's own design space: hash suffixes cut point FPR (in space) but do
+nothing for correlated range queries, which need real suffixes — and even
+real suffixes can't fix the truncation-interval weakness at gap 2.""",
+
+    "A2": """Why the Rosetta implementation uses a bottom-heavy split: an even split
+starves the upper Blooms, the doubting recursion multiplies surviving
+paths, and FPR balloons by 100× at short ranges.""",
+
+    "A3": """The cuckoo fingerprint sizing rule (ε ≈ 2·bucket/2^f): each bit roughly
+halves the FPR; achievable load stays ~0.95 at all widths, so space is a
+clean linear trade.""",
+
+    "A4": """Stacked depth: hot-negative suppression is exponential in depth and
+saturates by depth 5; cold-negative FPR and total space barely move
+because the deeper layers are tiny.""",
+
+    "A5": """LSM size ratio: T controls the levels/write-amp balance; the miss cost is
+nearly flat because Monkey reallocates filter bits as the level count
+changes.""",
+
+    "A6": """The sharded wrapper demonstrates correctness under concurrency (see the
+race-detector tests); on this single-core container, throughput cannot
+scale with goroutines, so the speedup column is ~1.""",
+}
+
+HEADER = """# EXPERIMENTS — paper claims vs measured results
+
+The tutorial (*Beyond Bloom*, SIGMOD-Companion 2024) has no empirical
+tables or figures of its own; it makes quantitative claims inline.
+DESIGN.md §2 maps each claim to an experiment; this file records, for
+every experiment, the claim and the measured outcome.
+
+All numbers below are the output of
+
+    go run ./cmd/beyondbloom exp all
+
+on this repository (deterministic: seeded workloads, fixed filter seeds;
+timings vary with hardware — shapes, not absolute numbers, are the
+reproduction target). Regenerate any single table with
+`go run ./cmd/beyondbloom exp <id>`; the same runners back the
+`BenchmarkE*` suite in bench_test.go.
+
+"""
+
+
+def main(path):
+    text = open(path).read()
+    sections = re.split(r"^### ", text, flags=re.M)
+    out = [HEADER]
+    for sec in sections:
+        if not sec.strip():
+            continue
+        header, _, body = sec.partition("\n")
+        m = re.match(r"(E\d+|A\d+) — (.*)", header)
+        if not m:
+            continue
+        eid, title = m.groups()
+        out.append(f"## {eid} — {title}\n")
+        commentary = COMMENTARY.get(eid, "")
+        if commentary:
+            out.append(commentary + "\n")
+        body = re.sub(r"\(%s completed in .*\)" % eid, "", body).rstrip()
+        out.append("```\n" + body.strip() + "\n```\n")
+    print("\n".join(out))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])
