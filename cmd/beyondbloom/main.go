@@ -39,8 +39,17 @@ func main() {
 		fs.Parse(os.Args[3:])
 		cfg := experiments.Config{Scale: *scale}
 		if id == "all" {
+			// A panicking experiment must not take down the rest of the
+			// suite: report it, keep going, and exit non-zero at the end.
+			var failed []string
 			for _, e := range experiments.All() {
-				run(e, cfg)
+				if err := run(e, cfg); err != nil {
+					failed = append(failed, e.ID)
+				}
+			}
+			if len(failed) > 0 {
+				fmt.Fprintf(os.Stderr, "error: %d experiment(s) failed: %v\n", len(failed), failed)
+				os.Exit(1)
 			}
 			return
 		}
@@ -49,14 +58,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try `beyondbloom list`)\n", id)
 			os.Exit(1)
 		}
-		run(e, cfg)
+		if err := run(e, cfg); err != nil {
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
-func run(e experiments.Experiment, cfg experiments.Config) {
+// run executes one experiment, converting a mid-run panic into a
+// reported error instead of a crash.
+func run(e experiments.Experiment, cfg experiments.Config) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment %s panicked: %v", e.ID, r)
+			fmt.Fprintf(os.Stderr, "error: %v\n\n", err)
+		}
+	}()
 	fmt.Printf("### %s — %s\n", e.ID, e.Title)
 	start := time.Now()
 	for _, t := range e.Run(cfg) {
@@ -64,6 +83,7 @@ func run(e experiments.Experiment, cfg experiments.Config) {
 		fmt.Println()
 	}
 	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func usage() {

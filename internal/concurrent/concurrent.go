@@ -8,11 +8,21 @@
 package concurrent
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/hashutil"
 )
+
+// MaxLogShards bounds the shard count at 2^12: the routing hash only
+// spends 16 bits, and more shards than cores×contention just wastes
+// memory.
+const MaxLogShards = 12
+
+// errNilBuild reports a missing shard constructor.
+var errNilBuild = errors.New("concurrent: nil build function")
 
 // Sharded is a thread-safe filter built from 2^logShards sub-filters.
 // The shard is chosen by high bits of the key's hash, so each sub-filter
@@ -30,16 +40,24 @@ type shard struct {
 
 // NewSharded builds a sharded filter: build is called once per shard and
 // must return an independent filter sized for its share of the keys.
-func NewSharded(logShards uint, build func(shardIndex int) core.DeletableFilter) *Sharded {
-	if logShards > 12 {
-		panic("concurrent: too many shards")
+// Invalid configuration (too many shards, nil or nil-returning build) is
+// reported as an error, never a panic — callers embedding this in a
+// serving path get to degrade instead of crashing.
+func NewSharded(logShards uint, build func(shardIndex int) core.DeletableFilter) (*Sharded, error) {
+	if logShards > MaxLogShards {
+		return nil, fmt.Errorf("concurrent: logShards %d exceeds max %d", logShards, MaxLogShards)
+	}
+	if build == nil {
+		return nil, errNilBuild
 	}
 	n := 1 << logShards
 	s := &Sharded{shards: make([]shard, n), mask: uint64(n - 1), seed: 0x5A4DED}
 	for i := range s.shards {
-		s.shards[i].f = build(i)
+		if s.shards[i].f = build(i); s.shards[i].f == nil {
+			return nil, fmt.Errorf("concurrent: build returned nil filter for shard %d", i)
+		}
 	}
-	return s
+	return s, nil
 }
 
 // shardOf routes a key. The routing hash is independent of the filters'
@@ -100,17 +118,23 @@ type countingShard struct {
 	f  core.CountingFilter
 }
 
-// NewCounting builds a sharded counting filter.
-func NewCounting(logShards uint, build func(shardIndex int) core.CountingFilter) *Counting {
-	if logShards > 12 {
-		panic("concurrent: too many shards")
+// NewCounting builds a sharded counting filter. Bad configuration is
+// returned as an error (see NewSharded).
+func NewCounting(logShards uint, build func(shardIndex int) core.CountingFilter) (*Counting, error) {
+	if logShards > MaxLogShards {
+		return nil, fmt.Errorf("concurrent: logShards %d exceeds max %d", logShards, MaxLogShards)
+	}
+	if build == nil {
+		return nil, errNilBuild
 	}
 	n := 1 << logShards
 	c := &Counting{shards: make([]countingShard, n), mask: uint64(n - 1), seed: 0x5A4DED}
 	for i := range c.shards {
-		c.shards[i].f = build(i)
+		if c.shards[i].f = build(i); c.shards[i].f == nil {
+			return nil, fmt.Errorf("concurrent: build returned nil filter for shard %d", i)
+		}
 	}
-	return c
+	return c, nil
 }
 
 func (c *Counting) shardOf(key uint64) *countingShard {

@@ -12,14 +12,19 @@ import (
 	"beyondbloom/internal/workload"
 )
 
-func newShardedQF(logShards uint, totalCap int) *Sharded {
-	return NewSharded(logShards, func(int) core.DeletableFilter {
+func newShardedQF(tb testing.TB, logShards uint, totalCap int) *Sharded {
+	tb.Helper()
+	s, err := NewSharded(logShards, func(int) core.DeletableFilter {
 		return quotient.NewForCapacity(totalCap>>logShards+totalCap>>(logShards+1), 0.001)
 	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
 }
 
 func TestShardedBasic(t *testing.T) {
-	s := newShardedQF(3, 20000)
+	s := newShardedQF(t, 3, 20000)
 	keys := workload.Keys(10000, 1)
 	for _, k := range keys {
 		if err := s.Insert(k); err != nil {
@@ -45,7 +50,7 @@ func TestShardedBasic(t *testing.T) {
 func TestShardedConcurrentMixed(t *testing.T) {
 	// Hammer the filter from many goroutines with disjoint key slices;
 	// run with -race to validate the locking.
-	s := newShardedQF(4, 200000)
+	s := newShardedQF(t, 4, 200000)
 	workers := runtime.GOMAXPROCS(0) * 2
 	perWorker := 5000
 	var wg sync.WaitGroup
@@ -84,10 +89,37 @@ func TestShardedConcurrentMixed(t *testing.T) {
 	}
 }
 
+func TestBadConfigReturnsError(t *testing.T) {
+	if _, err := NewSharded(13, func(int) core.DeletableFilter { return cuckoo.New(10, 8) }); err == nil {
+		t.Fatal("oversized logShards must be rejected")
+	}
+	if _, err := NewSharded(1, nil); err == nil {
+		t.Fatal("nil build must be rejected")
+	}
+	if _, err := NewSharded(1, func(int) core.DeletableFilter { return nil }); err == nil {
+		t.Fatal("nil shard filter must be rejected")
+	}
+	if _, err := NewCounting(13, func(int) core.CountingFilter { return quotient.NewCounting(4, 4) }); err == nil {
+		t.Fatal("oversized counting logShards must be rejected")
+	}
+	if _, err := NewCounting(1, nil); err == nil {
+		t.Fatal("nil counting build must be rejected")
+	}
+	if _, err := NewCounting(1, func(int) core.CountingFilter { return nil }); err == nil {
+		t.Fatal("nil counting shard filter must be rejected")
+	}
+	if s, err := NewSharded(MaxLogShards, func(int) core.DeletableFilter { return cuckoo.New(8, 8) }); err != nil || s.Shards() != 1<<MaxLogShards {
+		t.Fatalf("max logShards should be accepted: %v", err)
+	}
+}
+
 func TestShardedCuckooBackend(t *testing.T) {
-	s := NewSharded(2, func(int) core.DeletableFilter {
+	s, err := NewSharded(2, func(int) core.DeletableFilter {
 		return cuckoo.New(4000, 14)
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	keys := workload.Keys(10000, 3)
 	for _, k := range keys {
 		if err := s.Insert(k); err != nil {
@@ -100,9 +132,12 @@ func TestShardedCuckooBackend(t *testing.T) {
 }
 
 func TestCountingSharded(t *testing.T) {
-	c := NewCounting(3, func(int) core.CountingFilter {
+	c, err := NewCounting(3, func(int) core.CountingFilter {
 		return quotient.NewCountingForCapacity(2000, 0.001)
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	keys := workload.Keys(1000, 5)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -128,7 +163,7 @@ func TestCountingSharded(t *testing.T) {
 func TestShardingUniform(t *testing.T) {
 	// Keys should spread roughly evenly across shards (capacity planning
 	// depends on it).
-	s := newShardedQF(4, 160000)
+	s := newShardedQF(t, 4, 160000)
 	keys := workload.Keys(80000, 7)
 	for _, k := range keys {
 		s.Insert(k)
@@ -143,7 +178,7 @@ func TestShardingUniform(t *testing.T) {
 }
 
 func BenchmarkShardedInsertParallel(b *testing.B) {
-	s := newShardedQF(6, b.N+1024)
+	s := newShardedQF(b, 6, b.N+1024)
 	var ctr uint64
 	var mu sync.Mutex
 	b.RunParallel(func(pb *testing.PB) {
@@ -160,7 +195,7 @@ func BenchmarkShardedInsertParallel(b *testing.B) {
 }
 
 func BenchmarkShardedLookupParallel(b *testing.B) {
-	s := newShardedQF(6, 1<<20)
+	s := newShardedQF(b, 6, 1<<20)
 	keys := workload.Keys(1<<19, 9)
 	for _, k := range keys {
 		s.Insert(k)
@@ -176,9 +211,12 @@ func BenchmarkShardedLookupParallel(b *testing.B) {
 }
 
 func TestCountingRemoveAndContains(t *testing.T) {
-	c := NewCounting(2, func(int) core.CountingFilter {
+	c, err := NewCounting(2, func(int) core.CountingFilter {
 		return quotient.NewCountingForCapacity(1000, 0.001)
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	keys := workload.Keys(200, 11)
 	for _, k := range keys {
 		c.Add(k, 3)
@@ -206,26 +244,8 @@ func TestCountingRemoveAndContains(t *testing.T) {
 }
 
 func TestShardedSizeBits(t *testing.T) {
-	s := newShardedQF(2, 1000)
+	s := newShardedQF(t, 2, 1000)
 	if s.SizeBits() <= 0 {
 		t.Error("SizeBits must be positive")
 	}
-}
-
-func TestTooManyShardsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("13 log-shards should panic")
-		}
-	}()
-	NewSharded(13, func(int) core.DeletableFilter { return quotient.New(4, 4) })
-}
-
-func TestCountingTooManyShardsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("13 log-shards should panic")
-		}
-	}()
-	NewCounting(13, func(int) core.CountingFilter { return quotient.NewCounting(4, 4) })
 }

@@ -160,9 +160,12 @@ func runA6(cfg Config) []*metrics.Table {
 		"goroutines", "Mops/sec", "speedup")
 	keys := workload.Keys(n, 121)
 	build := func() *concurrent.Sharded {
-		s := concurrent.NewSharded(6, func(int) core.DeletableFilter {
+		s, err := concurrent.NewSharded(6, func(int) core.DeletableFilter {
 			return quotient.NewForCapacity(n/64*2, 0.001)
 		})
+		if err != nil {
+			panic(err) // 6 log-shards is statically valid
+		}
 		for _, k := range keys {
 			s.Insert(k)
 		}

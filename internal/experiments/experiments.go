@@ -56,6 +56,7 @@ func All() []Experiment {
 		{"E13", "Sequence search: SBT vs Mantis (§3.2)", runE13},
 		{"E14", "Malicious-URL yes/no lists (§3.3)", runE14},
 		{"E15", "Circular-log engine with an expandable maplet (§3.1)", runE15},
+		{"E16", "Fault injection: adaptivity and LSM lookups on an unreliable backing store (§2.3+§3.1)", runE16},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return append(exps, ablations()...)

@@ -12,10 +12,10 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 21 { // E1-E15 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 21", len(exps))
+	if len(exps) != 22 { // E1-E16 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 22", len(exps))
 	}
-	for i, e := range exps[:15] {
+	for i, e := range exps[:16] {
 		if e.ID != "E"+itoa(i+1) {
 			t.Errorf("experiment %d has ID %s", i, e.ID)
 		}
@@ -76,9 +76,38 @@ func TestE12Runs(t *testing.T) { runOne(t, "E12") }
 func TestE13Runs(t *testing.T) { runOne(t, "E13") }
 func TestE14Runs(t *testing.T) { runOne(t, "E14") }
 func TestE15Runs(t *testing.T) { runOne(t, "E15") }
-func TestA1Runs(t *testing.T)  { runOne(t, "A1") }
-func TestA2Runs(t *testing.T)  { runOne(t, "A2") }
-func TestA3Runs(t *testing.T)  { runOne(t, "A3") }
-func TestA4Runs(t *testing.T)  { runOne(t, "A4") }
-func TestA5Runs(t *testing.T)  { runOne(t, "A5") }
-func TestA6Runs(t *testing.T)  { runOne(t, "A6") }
+
+// TestE16FaultExperiment checks the acceptance claims of the fault
+// experiment: under 20% transient remote errors the adaptive loop still
+// converges with zero false negatives, and the LSM store answers every
+// query correctly at strictly higher I/O than the healthy run.
+func TestE16FaultExperiment(t *testing.T) {
+	out := runOne(t, "E16")
+	if !strings.Contains(out, "err20%_retry4") || !strings.Contains(out, "dev_err20%") {
+		t.Fatalf("E16 missing fault scenarios:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		// Every E16a row ends with its false-negative count; every E16b
+		// row with its wrong-answer count. Both must be zero everywhere.
+		switch fields[0] {
+		case "healthy", "err20%_no_retry", "err20%_retry4", "outage_then_recover",
+			"dev_err20%", "filter_corrupt20%", "dev_err20%+perm2%+filter10%":
+			if fields[len(fields)-1] != "0" {
+				t.Errorf("scenario %s reports wrong answers / false negatives:\n%s", fields[0], line)
+			}
+		}
+		if fields[0] == "err20%_retry4" && fields[2] == "never" {
+			t.Errorf("20%% transient errors with retry must still converge:\n%s", line)
+		}
+	}
+}
+func TestA1Runs(t *testing.T) { runOne(t, "A1") }
+func TestA2Runs(t *testing.T) { runOne(t, "A2") }
+func TestA3Runs(t *testing.T) { runOne(t, "A3") }
+func TestA4Runs(t *testing.T) { runOne(t, "A4") }
+func TestA5Runs(t *testing.T) { runOne(t, "A5") }
+func TestA6Runs(t *testing.T) { runOne(t, "A6") }

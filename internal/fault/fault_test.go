@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		return NewInjector(42, Transient(0.3), Latency(0.2, time.Millisecond), BitFlip(0.1))
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatalf("op %d: outcomes diverge: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestInjectorRateApprox(t *testing.T) {
+	in := NewInjector(7, Transient(0.2))
+	n := 100000
+	fails := 0
+	for i := 0; i < n; i++ {
+		if in.Next().Err != nil {
+			fails++
+		}
+	}
+	got := float64(fails) / float64(n)
+	if math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("transient rate = %.4f, want ~0.20", got)
+	}
+}
+
+func TestInjectorWindow(t *testing.T) {
+	in := NewInjector(3, TransientBetween(1.0, 100, 200))
+	for i := uint64(1); i <= 300; i++ {
+		o := in.Next()
+		inWindow := i >= 100 && i < 200
+		if (o.Err != nil) != inWindow {
+			t.Fatalf("op %d: err=%v, want fault iff in [100,200)", i, o.Err)
+		}
+	}
+}
+
+func TestInjectorNoRulesClean(t *testing.T) {
+	in := NewInjector(1)
+	for i := 0; i < 1000; i++ {
+		o := in.Next()
+		if o.Err != nil || o.Latency != 0 || o.FlipBit != -1 {
+			t.Fatalf("clean injector faulted: %+v", o)
+		}
+	}
+}
+
+func TestInjectorKinds(t *testing.T) {
+	in := NewInjector(9, Permanent(1.0))
+	if o := in.Next(); !IsTransient(o.Err) == false || o.Err == nil {
+		// Permanent must not be transient.
+		if IsTransient(o.Err) {
+			t.Fatalf("permanent error classified transient")
+		}
+	}
+	in2 := NewInjector(9, BitFlip(1.0))
+	o := in2.Next()
+	if o.FlipBit < 0 || o.FlipBit > 63 {
+		t.Fatalf("FlipBit = %d, want [0,63]", o.FlipBit)
+	}
+	v := uint64(0)
+	if c := Corrupt(v, o); c != 1<<uint(o.FlipBit) {
+		t.Fatalf("Corrupt = %x", c)
+	}
+	if c := Corrupt(123, Outcome{FlipBit: -1}); c != 123 {
+		t.Fatalf("Corrupt identity broken")
+	}
+}
+
+func TestErrCorruptIsTransient(t *testing.T) {
+	if !IsTransient(ErrCorrupt) {
+		t.Fatal("ErrCorrupt should be transient (re-read may succeed)")
+	}
+	if !IsTransient(ErrTimeout) {
+		t.Fatal("ErrTimeout should be transient")
+	}
+	if IsTransient(ErrPermanent) || IsTransient(ErrOpen) {
+		t.Fatal("permanent/open must not be transient")
+	}
+}

@@ -1,0 +1,336 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Op is a fallible, context-aware operation.
+type Op func(ctx context.Context) error
+
+// ErrTimeout is returned by Timeout when the budget expires. A timed-out
+// call may succeed if retried, so it counts as transient.
+var ErrTimeout = fmt.Errorf("fault: timeout: %w", ErrTransient)
+
+// ErrOpen is returned by a Breaker that is rejecting calls. It is not
+// transient: an immediate retry would be rejected again.
+var ErrOpen = errors.New("fault: circuit open")
+
+// SleepCtx waits d or until ctx is done, whichever comes first. It is
+// the default sleeper for retries and injected latency.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// NoSleep ignores the requested delay — simulations use it so retries
+// cost bookkeeping, not wall-clock time.
+func NoSleep(context.Context, time.Duration) error { return nil }
+
+// Timeout runs op under a deadline of d. The op must honor its context
+// (all ops in this repository do); expiry surfaces as ErrTimeout.
+func Timeout(ctx context.Context, d time.Duration, op Op) error {
+	if d <= 0 {
+		return op(ctx)
+	}
+	tctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	err := op(tctx)
+	if err != nil && tctx.Err() != nil && ctx.Err() == nil {
+		return ErrTimeout
+	}
+	return err
+}
+
+// RetryPolicy configures a Retrier.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first included (default 3).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms); each
+	// further retry doubles it up to MaxDelay (default 100ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterSeed seeds the deterministic ±50% jitter applied to each
+	// delay (default a fixed seed).
+	JitterSeed uint64
+	// Sleep waits between attempts; defaults to SleepCtx. Simulations
+	// pass NoSleep.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.JitterSeed == 0 {
+		p.JitterSeed = 0xDECAF
+	}
+	if p.Sleep == nil {
+		p.Sleep = SleepCtx
+	}
+}
+
+// RetryStats counts a Retrier's work.
+type RetryStats struct {
+	Calls    uint64 // Do invocations
+	Attempts uint64 // op invocations (>= Calls)
+	Retries  uint64 // attempts beyond the first
+	Giveups  uint64 // calls that exhausted MaxAttempts on transient errors
+	Failfast uint64 // calls that stopped early on a non-transient error
+}
+
+// Retrier retries transient failures with exponential backoff and
+// deterministic jitter. Safe for concurrent use.
+type Retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    uint64
+	stats  RetryStats
+}
+
+// NewRetrier returns a retrier with the given policy (zero fields take
+// defaults).
+func NewRetrier(policy RetryPolicy) *Retrier {
+	policy.fill()
+	return &Retrier{policy: policy, rng: policy.JitterSeed}
+}
+
+// delay returns the jittered backoff for the given retry ordinal.
+func (r *Retrier) delay(retry int) time.Duration {
+	d := r.policy.BaseDelay << uint(retry)
+	if d > r.policy.MaxDelay || d <= 0 {
+		d = r.policy.MaxDelay
+	}
+	r.mu.Lock()
+	x := r.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.rng = x
+	r.mu.Unlock()
+	// Jitter into [d/2, 3d/2) so synchronized retriers spread out.
+	frac := float64((x*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+	return d/2 + time.Duration(frac*float64(d))
+}
+
+// Do runs op, retrying transient errors up to MaxAttempts times. It
+// returns nil on the first success, the last error otherwise.
+func (r *Retrier) Do(ctx context.Context, op Op) error {
+	r.bump(func(s *RetryStats) { s.Calls++ })
+	var err error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.bump(func(s *RetryStats) { s.Retries++ })
+			if serr := r.policy.Sleep(ctx, r.delay(attempt-1)); serr != nil {
+				return serr
+			}
+		}
+		r.bump(func(s *RetryStats) { s.Attempts++ })
+		if err = op(ctx); err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			r.bump(func(s *RetryStats) { s.Failfast++ })
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	r.bump(func(s *RetryStats) { s.Giveups++ })
+	return err
+}
+
+func (r *Retrier) bump(f func(*RetryStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// Stats returns a snapshot of the retry counters.
+func (r *Retrier) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// BreakerState is a circuit breaker's condition.
+type BreakerState int
+
+const (
+	// BreakerClosed passes calls through, counting failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects calls until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets probe calls through; enough successes close
+	// the circuit, any failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions configure a Breaker.
+type BreakerOptions struct {
+	// FailureThreshold is how many consecutive failures trip the circuit
+	// (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before probing
+	// (default 100ms).
+	Cooldown time.Duration
+	// SuccessThreshold is how many consecutive half-open successes close
+	// the circuit (default 1).
+	SuccessThreshold int
+	// Now supplies the clock; tests inject a fake one.
+	Now func() time.Time
+}
+
+func (o *BreakerOptions) fill() {
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = 5
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 100 * time.Millisecond
+	}
+	if o.SuccessThreshold == 0 {
+		o.SuccessThreshold = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+}
+
+// BreakerStats counts a breaker's decisions.
+type BreakerStats struct {
+	Trips      uint64 // closed/half-open -> open transitions
+	Rejections uint64 // calls refused while open
+	Probes     uint64 // calls admitted while half-open
+	Closes     uint64 // half-open -> closed transitions
+}
+
+// Breaker is a circuit breaker with half-open probing. Safe for
+// concurrent use.
+type Breaker struct {
+	opts      BreakerOptions
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	successes int
+	openedAt  time.Time
+	stats     BreakerStats
+}
+
+// NewBreaker returns a closed breaker (zero option fields take
+// defaults).
+func NewBreaker(opts BreakerOptions) *Breaker {
+	opts.fill()
+	return &Breaker{opts: opts}
+}
+
+// Do runs op unless the circuit is open, updating state from the result.
+func (b *Breaker) Do(ctx context.Context, op Op) error {
+	if err := b.admit(); err != nil {
+		return err
+	}
+	err := op(ctx)
+	b.record(err == nil)
+	return err
+}
+
+// admit decides whether a call may proceed.
+func (b *Breaker) admit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			b.stats.Rejections++
+			return ErrOpen
+		}
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		fallthrough
+	case BreakerHalfOpen:
+		b.stats.Probes++
+	}
+	return nil
+}
+
+// record folds a call result into the state machine.
+func (b *Breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		switch b.state {
+		case BreakerHalfOpen:
+			b.successes++
+			if b.successes >= b.opts.SuccessThreshold {
+				b.state = BreakerClosed
+				b.failures = 0
+				b.stats.Closes++
+			}
+		case BreakerClosed:
+			b.failures = 0
+		}
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.opts.FailureThreshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the circuit; caller holds the lock.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.opts.Now()
+	b.failures = 0
+	b.stats.Trips++
+}
+
+// State returns the current state (open circuits past their cooldown
+// still report open until the next call probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

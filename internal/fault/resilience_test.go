@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"beyondbloom/internal/core"
+)
+
+func TestRetrierEventualSuccess(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 4, Sleep: NoSleep})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return ErrTransient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil/3", err, calls)
+	}
+	s := r.Stats()
+	if s.Attempts != 3 || s.Retries != 2 || s.Giveups != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetrierGivesUp(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, Sleep: NoSleep})
+	err := r.Do(context.Background(), func(context.Context) error { return ErrTransient })
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if s := r.Stats(); s.Giveups != 1 || s.Attempts != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetrierFailsFastOnPermanent(t *testing.T) {
+	r := NewRetrier(RetryPolicy{MaxAttempts: 5, Sleep: NoSleep})
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return ErrPermanent
+	})
+	if !errors.Is(err, ErrPermanent) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want permanent after 1 call", err, calls)
+	}
+	if s := r.Stats(); s.Failfast != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetrierDelayBounded(t *testing.T) {
+	r := NewRetrier(RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond})
+	for retry := 0; retry < 20; retry++ {
+		d := r.delay(retry)
+		if d < time.Millisecond/2 || d > 12*time.Millisecond {
+			t.Fatalf("delay(%d) = %v out of [base/2, 1.5*max]", retry, d)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	err := Timeout(context.Background(), 10*time.Millisecond, func(ctx context.Context) error {
+		return SleepCtx(ctx, time.Second)
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if err := Timeout(context.Background(), time.Second, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("fast op: %v", err)
+	}
+	// Zero budget disables the deadline.
+	if err := Timeout(context.Background(), 0, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("no budget: %v", err)
+	}
+}
+
+// fakeClock drives Breaker cooldowns without real sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerOptions{FailureThreshold: 3, Cooldown: time.Second, SuccessThreshold: 2, Now: clk.now})
+	ctx := context.Background()
+	fail := func(context.Context) error { return ErrTransient }
+	ok := func(context.Context) error { return nil }
+
+	for i := 0; i < 3; i++ {
+		if err := b.Do(ctx, fail); !errors.Is(err, ErrTransient) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after threshold", b.State())
+	}
+	if err := b.Do(ctx, ok); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open circuit admitted a call: %v", err)
+	}
+
+	// After the cooldown, probes are admitted (half-open).
+	clk.advance(2 * time.Second)
+	if err := b.Do(ctx, ok); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open (1 of 2 successes)", b.State())
+	}
+	if err := b.Do(ctx, ok); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+
+	// A half-open failure reopens immediately.
+	for i := 0; i < 3; i++ {
+		b.Do(ctx, fail)
+	}
+	clk.advance(2 * time.Second)
+	if err := b.Do(ctx, fail); !errors.Is(err, ErrTransient) {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want re-opened", b.State())
+	}
+	s := b.Stats()
+	if s.Trips != 3 || s.Rejections == 0 || s.Probes == 0 || s.Closes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBreakerSuccessResetsFailures(t *testing.T) {
+	b := NewBreaker(BreakerOptions{FailureThreshold: 3})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		b.Do(ctx, func(context.Context) error { return ErrTransient })
+		b.Do(ctx, func(context.Context) error { return nil })
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("interleaved successes should keep the circuit closed")
+	}
+}
+
+func TestFallibleSet(t *testing.T) {
+	set := core.NewMapSet()
+	set.Insert(7)
+	ctx := context.Background()
+
+	// Clean injector: exact answers.
+	fs := NewFallibleSet(set, NewInjector(1))
+	if ok, err := fs.Contains(ctx, 7); err != nil || !ok {
+		t.Fatalf("Contains(7) = %v,%v", ok, err)
+	}
+	if ok, err := fs.Contains(ctx, 8); err != nil || ok {
+		t.Fatalf("Contains(8) = %v,%v", ok, err)
+	}
+
+	// Always-failing injector: errors, and the remote is never consulted.
+	set2 := core.NewMapSet()
+	set2.Insert(7)
+	fs2 := NewFallibleSet(set2, NewInjector(1, Transient(1.0)))
+	if _, err := fs2.Contains(ctx, 7); !IsTransient(err) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if set2.Accesses != 0 {
+		t.Fatalf("failed call should not touch the remote")
+	}
+
+	// Bit flips surface as detected corruption, not a wrong answer.
+	fs3 := NewFallibleSet(set, NewInjector(1, BitFlip(1.0)))
+	if _, err := fs3.Contains(ctx, 7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFailSafeRemoteAdapter(t *testing.T) {
+	set := core.NewMapSet()
+	set.Insert(1)
+	fr := NewFallibleSet(set, NewInjector(5, Transient(1.0)))
+	ad := &core.FailSafeRemote{R: fr}
+	if !ad.Contains(2) {
+		t.Fatal("fail-safe adapter must answer present on error")
+	}
+	if ad.Errors != 1 {
+		t.Fatalf("Errors = %d", ad.Errors)
+	}
+	// Round trip: Remote -> FallibleRemote -> Remote is exact.
+	rt := &core.FailSafeRemote{R: core.AsFallible(set)}
+	if !rt.Contains(1) || rt.Contains(2) || rt.Errors != 0 {
+		t.Fatal("round-tripped adapter lost exactness")
+	}
+}

@@ -1,0 +1,191 @@
+package lsm
+
+import (
+	"testing"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/fault"
+	"beyondbloom/internal/workload"
+)
+
+// loadStore ingests n keys (forcing flushes and compactions) and returns
+// the store plus its keys.
+func loadStore(t *testing.T, opts Options, n int) (*Store, []uint64) {
+	t.Helper()
+	s := New(opts)
+	keys := workload.Keys(n, 9)
+	for i, k := range keys {
+		s.Put(k, uint64(i))
+	}
+	s.Flush()
+	return s, keys
+}
+
+// verifyExact asserts the store answers every query with ground truth:
+// each inserted key maps to its value, each disjoint key is absent.
+func verifyExact(t *testing.T, name string, s *Store, keys []uint64) {
+	t.Helper()
+	for i, k := range keys {
+		v, ok := s.Get(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("%s: Get(%d) = (%d,%v), want (%d,true)", name, k, v, ok, i)
+		}
+	}
+	for _, k := range workload.DisjointKeys(2000, 9) {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("%s: phantom key %d", name, k)
+		}
+	}
+}
+
+// TestDegradedLookupsStayCorrect injects device faults at flush,
+// compaction, and lookup time and asserts exact membership is preserved
+// while the I/O counters reflect retries, replica recoveries, and
+// filter-fallback probes.
+func TestDegradedLookupsStayCorrect(t *testing.T) {
+	const n = 20000
+	base := Options{Policy: PolicyBloom, MemtableSize: 512, SizeRatio: 4}
+
+	// Fault-free twin: the cost floor every faulty scenario must exceed.
+	clean, cleanKeys := loadStore(t, base, n)
+	verifyExact(t, "clean", clean, cleanKeys)
+	cleanReads, cleanWrites := clean.Device().Reads, clean.Device().Writes
+
+	cases := []struct {
+		name string
+		opts func() Options
+		// faultLookups installs lookup-time faults after a clean load.
+		faultLookups     func(s *Store)
+		wantFailedWrites bool
+		wantFailedReads  bool
+		wantReplica      bool
+		wantFallbacks    bool
+	}{
+		{
+			name: "transient write faults at flush and compaction",
+			opts: func() Options {
+				o := base
+				o.DeviceFaults = fault.NewInjector(101, fault.Transient(0.2))
+				return o
+			},
+			wantFailedWrites: true,
+		},
+		{
+			name: "transient read faults at lookup",
+			opts: func() Options { return base },
+			faultLookups: func(s *Store) {
+				s.Device().Faults = fault.NewInjector(102, fault.Transient(0.3))
+			},
+			wantFailedReads: true,
+		},
+		{
+			name: "permanent read faults trigger replica recovery",
+			opts: func() Options { return base },
+			faultLookups: func(s *Store) {
+				s.Device().Faults = fault.NewInjector(103, fault.Permanent(0.1))
+			},
+			wantFailedReads: true,
+			wantReplica:     true,
+		},
+		{
+			name: "corrupt filter blocks force fallback probes",
+			opts: func() Options {
+				o := base
+				o.FilterFaults = fault.NewInjector(104, fault.BitFlip(0.5))
+				return o
+			},
+			wantFallbacks: true,
+		},
+		{
+			name: "maplet faults degrade to probing all runs",
+			opts: func() Options {
+				o := base
+				o.Policy = PolicyMaplet
+				o.FilterFaults = fault.NewInjector(105, fault.Transient(0.5))
+				return o
+			},
+			wantFallbacks: true,
+		},
+		{
+			name: "combined schedule: windowed I/O faults plus filter corruption",
+			opts: func() Options {
+				o := base
+				o.DeviceFaults = fault.NewInjector(106,
+					fault.TransientBetween(0.5, 10, 5000), fault.Permanent(0.02))
+				o.FilterFaults = fault.NewInjector(107, fault.BitFlip(0.2), fault.Transient(0.1))
+				return o
+			},
+			wantFailedWrites: true,
+			wantFailedReads:  true,
+			wantFallbacks:    true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, keys := loadStore(t, tc.opts(), n)
+			if tc.faultLookups != nil {
+				tc.faultLookups(s)
+			}
+			verifyExact(t, tc.name, s, keys)
+			d := s.Device()
+			if tc.wantFailedWrites {
+				if d.FailedWrites == 0 {
+					t.Error("expected failed write attempts")
+				}
+				if d.Writes <= cleanWrites {
+					t.Errorf("Writes = %d, want > clean %d (retries must cost I/O)", d.Writes, cleanWrites)
+				}
+			}
+			if tc.wantFailedReads && d.FailedReads == 0 {
+				t.Error("expected failed read attempts")
+			}
+			if tc.faultLookups != nil && d.Reads <= cleanReads {
+				t.Errorf("Reads = %d, want > clean %d (degraded lookups must cost more)", d.Reads, cleanReads)
+			}
+			if tc.wantReplica && d.ReplicaReads == 0 {
+				t.Error("expected replica recoveries")
+			}
+			if tc.wantFallbacks {
+				if s.FilterFallbacks == 0 {
+					t.Error("expected filter fallback probes")
+				}
+				if d.Reads <= cleanReads {
+					t.Errorf("Reads = %d, want > clean %d (fallback probes must cost I/O)", d.Reads, cleanReads)
+				}
+			}
+		})
+	}
+}
+
+// denyAllRange claims every range is empty, so any entry a faulty-probe
+// scan still returns must have come through the fallback path.
+type denyAllRange struct{}
+
+func (denyAllRange) MayContainRange(lo, hi uint64) bool { return false }
+func (denyAllRange) SizeBits() int                      { return 0 }
+
+// TestDegradedScanStaysCorrect: a faulted range-filter probe must not
+// let the filter skip the run — the scan pays the I/O instead. With a
+// filter that (wrongly) denies everything and probes that always fault,
+// scans remain exact purely via the degraded path.
+func TestDegradedScanStaysCorrect(t *testing.T) {
+	s := New(Options{
+		Policy:       PolicyBloom,
+		MemtableSize: 256,
+		FilterFaults: fault.NewInjector(7, fault.Transient(1.0)),
+		RangeFilter:  func([]uint64) core.RangeFilter { return denyAllRange{} },
+	})
+	const n = 4000
+	for k := uint64(0); k < n; k++ {
+		s.Put(k*10, k)
+	}
+	s.Flush()
+	got := s.Scan(0, (n-1)*10)
+	if len(got) != n {
+		t.Fatalf("Scan returned %d entries, want %d", len(got), n)
+	}
+	if s.FilterFallbacks == 0 {
+		t.Fatal("expected range-filter fallbacks")
+	}
+}

@@ -20,11 +20,13 @@
 package lsm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"beyondbloom/internal/bloom"
 	"beyondbloom/internal/core"
+	"beyondbloom/internal/fault"
 	"beyondbloom/internal/quotient"
 )
 
@@ -37,10 +39,59 @@ type Entry struct {
 }
 
 // Device simulates block storage: it stores nothing (runs keep their
-// entries in memory) but counts the I/Os a real device would serve.
+// entries in memory) but counts the I/Os a real device would serve. An
+// optional fault injector makes those I/Os fallible: reads and writes
+// then fail or report detected corruption per the injector's schedule,
+// and the Store degrades (retries, then recovers from a replica) instead
+// of panicking. Every attempt is charged to Reads/Writes, so a faulty
+// run costs strictly more I/O than a healthy one — never a wrong answer.
 type Device struct {
 	Reads  int
 	Writes int
+	// Faults, when non-nil, judges every I/O. Transient/permanent
+	// outcomes fail the call; bit-flips surface as detected corruption
+	// (checksum mismatch); latency outcomes only bump SlowIOs.
+	Faults *fault.Injector
+	// FailedReads/FailedWrites count individual attempts that faulted.
+	FailedReads  int
+	FailedWrites int
+	// SlowIOs counts attempts that saw injected latency.
+	SlowIOs int
+	// ReplicaReads/ReplicaWrites count operations that exhausted their
+	// retries and fell back to the (always-intact) replica.
+	ReplicaReads  int
+	ReplicaWrites int
+}
+
+// read charges blocks of read I/O and returns the injected outcome.
+func (d *Device) read(blocks int) error {
+	d.Reads += blocks
+	return d.outcome(&d.FailedReads)
+}
+
+// write charges blocks of write I/O and returns the injected outcome.
+func (d *Device) write(blocks int) error {
+	d.Writes += blocks
+	return d.outcome(&d.FailedWrites)
+}
+
+func (d *Device) outcome(failed *int) error {
+	if d.Faults == nil {
+		return nil
+	}
+	o := d.Faults.Next()
+	if o.Latency > 0 {
+		d.SlowIOs++
+	}
+	if o.Err != nil {
+		*failed++
+		return o.Err
+	}
+	if o.FlipBit >= 0 {
+		*failed++
+		return fault.ErrCorrupt
+	}
+	return nil
 }
 
 // entriesPerBlock sets the simulated block granularity for write I/O
@@ -100,6 +151,17 @@ type Options struct {
 	RangeFilter RangeFilterBuilder
 	// Compaction selects the merge strategy (default Leveling).
 	Compaction CompactionPolicy
+	// DeviceFaults, when set, is installed on the store's Device so data
+	// block I/O fails per its schedule.
+	DeviceFaults *fault.Injector
+	// FilterFaults, when set, judges every filter-block probe (filters
+	// live on storage too). A faulted probe makes the filter unusable for
+	// that lookup: the store falls back to probing the run directly,
+	// trading extra I/O for correctness.
+	FilterFaults *fault.Injector
+	// DeviceRetry overrides the retry policy for faulted device I/O
+	// (default: 4 attempts, no simulated sleep).
+	DeviceRetry *fault.RetryPolicy
 }
 
 func (o *Options) fill() {
@@ -152,16 +214,26 @@ type Store struct {
 	nextID  uint64
 	// FilterProbes counts filter consultations (CPU-cost diagnostic).
 	FilterProbes int
+	// FilterFallbacks counts lookups where a faulted filter probe forced
+	// the store to probe runs directly (degraded mode).
+	FilterFallbacks int
+	// ioRetry retries faulted device I/O before replica recovery.
+	ioRetry *fault.Retrier
 }
 
 // New returns an empty store.
 func New(opts Options) *Store {
 	opts.fill()
+	retry := fault.RetryPolicy{MaxAttempts: 4, Sleep: fault.NoSleep}
+	if opts.DeviceRetry != nil {
+		retry = *opts.DeviceRetry
+	}
 	s := &Store{
 		opts:     opts,
 		memtable: make(map[uint64]Entry),
-		dev:      &Device{},
+		dev:      &Device{Faults: opts.DeviceFaults},
 		runByID:  make(map[uint64]*run),
+		ioRetry:  fault.NewRetrier(retry),
 	}
 	if opts.Policy == PolicyMaplet {
 		// 16-bit run ids; sized generously and expanded on demand.
@@ -172,6 +244,43 @@ func New(opts Options) *Store {
 
 // Device exposes the I/O counters.
 func (s *Store) Device() *Device { return s.dev }
+
+// devRead performs a fallible read of blocks: faulted attempts are
+// retried (each attempt pays its I/O), and exhausted retries recover
+// from the replica at a further blocks of cost. It never fails — the
+// degraded path trades I/O for correctness.
+func (s *Store) devRead(blocks int) {
+	if err := s.ioRetry.Do(context.Background(), func(context.Context) error {
+		return s.dev.read(blocks)
+	}); err != nil {
+		s.dev.Reads += blocks
+		s.dev.ReplicaReads++
+	}
+}
+
+// devWrite is devRead's write-side twin.
+func (s *Store) devWrite(blocks int) {
+	if err := s.ioRetry.Do(context.Background(), func(context.Context) error {
+		return s.dev.write(blocks)
+	}); err != nil {
+		s.dev.Writes += blocks
+		s.dev.ReplicaWrites++
+	}
+}
+
+// probeFilter consults a run's filter block. ok is the filter's answer;
+// usable is false when the probe faulted (the caller must treat the run
+// as maybe-containing and pay the data I/O).
+func (s *Store) probeFilter(contains func() bool) (ok, usable bool) {
+	s.FilterProbes++
+	if s.opts.FilterFaults != nil {
+		if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
+			s.FilterFallbacks++
+			return false, false
+		}
+	}
+	return contains(), true
+}
 
 // Put inserts or updates a key.
 func (s *Store) Put(key, value uint64) {
@@ -236,7 +345,7 @@ func (s *Store) pushRun(entries []Entry, level int) {
 	if merge && len(s.levels[level]) > 0 {
 		for _, old := range s.levels[level] {
 			entries = s.mergeEntries(entries, old.entries, s.isLastDataLevel(level))
-			s.dev.Reads += (len(old.entries) + entriesPerBlock - 1) / entriesPerBlock
+			s.devRead((len(old.entries) + entriesPerBlock - 1) / entriesPerBlock)
 			s.retireRun(old)
 		}
 		s.levels[level] = nil
@@ -311,7 +420,7 @@ func (s *Store) buildRun(entries []Entry, level int) *run {
 		id = s.nextID
 	}
 	r := &run{id: id, entries: entries, level: level}
-	s.dev.Writes += (len(entries) + entriesPerBlock - 1) / entriesPerBlock
+	s.devWrite((len(entries) + entriesPerBlock - 1) / entriesPerBlock)
 	keys := make([]uint64, len(entries))
 	for i, e := range entries {
 		keys[i] = e.Key
@@ -431,7 +540,7 @@ func (s *Store) compact() {
 func (s *Store) drainRuns(runs []*run, lastLevel bool) []Entry {
 	var merged []Entry
 	for i, r := range runs {
-		s.dev.Reads += (len(r.entries) + entriesPerBlock - 1) / entriesPerBlock
+		s.devRead((len(r.entries) + entriesPerBlock - 1) / entriesPerBlock)
 		if i == 0 {
 			merged = append(merged, r.entries...)
 		} else {
@@ -456,12 +565,13 @@ func (s *Store) Get(key uint64) (uint64, bool) {
 				continue
 			}
 			if r.filter != nil {
-				s.FilterProbes++
-				if !r.filter.Contains(key) {
+				// A faulted filter probe cannot rule the run out, so the
+				// lookup degrades to paying the data I/O.
+				if ok, usable := s.probeFilter(func() bool { return r.filter.Contains(key) }); usable && !ok {
 					continue
 				}
 			}
-			s.dev.Reads++
+			s.devRead(1)
 			if e, ok := r.find(key); ok {
 				return e.Value, !e.Tombstone
 			}
@@ -470,9 +580,17 @@ func (s *Store) Get(key uint64) (uint64, bool) {
 	return 0, false
 }
 
-// mapletGet probes only the runs the global maplet points to.
+// mapletGet probes only the runs the global maplet points to. When the
+// maplet block itself cannot be read, the lookup degrades to probing
+// every overlapping run (the PolicyNone cost) rather than failing.
 func (s *Store) mapletGet(key uint64) (uint64, bool) {
 	s.FilterProbes++
+	if s.opts.FilterFaults != nil {
+		if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
+			s.FilterFallbacks++
+			return s.probeAllRuns(key)
+		}
+	}
 	candidates := s.maplet.Get(key)
 	// Probe newer runs first (higher id = newer).
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] > candidates[j] })
@@ -486,9 +604,26 @@ func (s *Store) mapletGet(key uint64) (uint64, bool) {
 		if !ok {
 			continue // stale pointer from a fingerprint collision
 		}
-		s.dev.Reads++
+		s.devRead(1)
 		if e, ok := r.find(key); ok {
 			return e.Value, !e.Tombstone
+		}
+	}
+	return 0, false
+}
+
+// probeAllRuns is the filterless fallback: binary-search every run whose
+// key range covers key, newest first, paying one read per probed run.
+func (s *Store) probeAllRuns(key uint64) (uint64, bool) {
+	for level := 0; level < len(s.levels); level++ {
+		for _, r := range s.levels[level] { // newest first
+			if len(r.entries) == 0 || key < r.minKey() || key > r.maxKey() {
+				continue
+			}
+			s.devRead(1)
+			if e, ok := r.find(key); ok {
+				return e.Value, !e.Tombstone
+			}
 		}
 	}
 	return 0, false
@@ -513,12 +648,11 @@ func (s *Store) Scan(lo, hi uint64) []Entry {
 				continue
 			}
 			if r.rangeF != nil {
-				s.FilterProbes++
-				if !r.rangeF.MayContainRange(lo, hi) {
+				if ok, usable := s.probeFilter(func() bool { return r.rangeF.MayContainRange(lo, hi) }); usable && !ok {
 					continue
 				}
 			}
-			s.dev.Reads++
+			s.devRead(1)
 			i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key >= lo })
 			j := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key > hi })
 			sources = append(sources, r.entries[i:j])

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full local gate: vet, build, race-enabled tests, and a short
+# end-to-end smoke run of the whole experiment suite.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== experiment smoke (exp all -scale 0.05) =="
+go run ./cmd/beyondbloom exp all -scale 0.05 >/dev/null
+
+echo "OK"
