@@ -1,0 +1,282 @@
+package beyondbloom
+
+// Batched-vs-scalar lookup micro-benchmarks. Each pair probes the same
+// filter with the same mixed (50% member / 50% absent) key stream, one
+// batch of batchBenchSize keys per benchmark iteration — the scalar
+// side as a plain Contains loop, the batch side through ContainsBatch —
+// so ns/op divides by batchBenchSize to give ns/key and the pair's
+// ratio is the batching speedup. scripts/bench.sh runs these and
+// records the results in BENCH_batch.json.
+
+import (
+	"sync"
+	"testing"
+
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/concurrent"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/cuckoo"
+	"beyondbloom/internal/quotient"
+	"beyondbloom/internal/workload"
+	"beyondbloom/internal/xorfilter"
+)
+
+// batchBenchN keys makes every filter tens of MB — far past L2 and a
+// TLB-hostile fraction of L3 — so the benchmarks measure the
+// memory-bound regime the batched engine exists for, not a
+// cache-resident toy where out-of-order execution already hides every
+// probe. -short shrinks the working set so a 1-iteration smoke run
+// (scripts/check.sh) stays cheap.
+const (
+	batchBenchN      = 1 << 24
+	batchBenchShortN = 1 << 16
+	batchBenchSize   = 256
+)
+
+func benchN(b *testing.B) int {
+	b.Helper()
+	if testing.Short() {
+		return batchBenchShortN
+	}
+	return batchBenchN
+}
+
+// The fixtures are read-only once built, so each is memoized and shared
+// by its Scalar/Batch pair and across the harness's repeated calls into
+// one Benchmark function — the multi-second builds happen once per
+// process. (-short runs in its own process, so the caches never mix
+// sizes.)
+var (
+	bloomBenchOnce    sync.Once
+	bloomBenchFilter  *bloom.Filter
+	bloomBenchKeys    []uint64
+	blockedBenchOnce  sync.Once
+	blockedBenchF     *bloom.Blocked
+	blockedBenchKeys  []uint64
+	cuckooBenchOnce   sync.Once
+	cuckooBenchFilter *cuckoo.Filter
+	cuckooBenchKeys   []uint64
+	quotientBenchOnce sync.Once
+	quotientBenchF    *quotient.Filter
+	quotientBenchKeys []uint64
+	xorBenchOnce      sync.Once
+	xorBenchFilter    *xorfilter.Filter
+	xorBenchKeys      []uint64
+	shardedBenchOnce  sync.Once
+	shardedBenchF     *concurrent.Sharded
+	shardedBenchKeys  []uint64
+	benchSetupErr     error
+)
+
+var benchSink bool
+
+// batchBenchProbes returns the mixed probe stream: even positions hold
+// members, odd positions absent keys, so batches of any alignment stay
+// half-and-half and the scalar early-exit branch is unpredictable —
+// exactly the LSM/k-mer/URL lookup profile.
+func batchBenchProbes(members, absent []uint64) []uint64 {
+	probes := make([]uint64, len(members)+len(absent))
+	for i := range members {
+		probes[2*i] = members[i]
+		probes[2*i+1] = absent[i]
+	}
+	return probes
+}
+
+func benchScalarLoop(b *testing.B, f core.Filter, probes []uint64) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := i * batchBenchSize % (len(probes) - batchBenchSize)
+		for _, k := range probes[base : base+batchBenchSize] {
+			benchSink = f.Contains(k)
+		}
+	}
+}
+
+func benchBatchLoop(b *testing.B, f core.BatchFilter, probes []uint64) {
+	b.Helper()
+	out := make([]bool, batchBenchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := i * batchBenchSize % (len(probes) - batchBenchSize)
+		f.ContainsBatch(probes[base:base+batchBenchSize], out)
+	}
+	benchSink = out[0]
+}
+
+func bloomBenchSetup(b *testing.B) (*bloom.Filter, []uint64) {
+	bloomBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 31)
+		f := bloom.New(n, 1.0/1024)
+		for _, k := range members {
+			f.Insert(k)
+		}
+		bloomBenchFilter = f
+		bloomBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 31))
+	})
+	return bloomBenchFilter, bloomBenchKeys
+}
+
+func BenchmarkFilterBloomContainsScalar(b *testing.B) {
+	f, probes := bloomBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterBloomContainsBatch(b *testing.B) {
+	f, probes := bloomBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}
+
+func blockedBenchSetup(b *testing.B) (*bloom.Blocked, []uint64) {
+	blockedBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 32)
+		f := bloom.NewBlocked(n, 12)
+		for _, k := range members {
+			f.Insert(k)
+		}
+		blockedBenchF = f
+		blockedBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 32))
+	})
+	return blockedBenchF, blockedBenchKeys
+}
+
+func BenchmarkFilterBloomBlockedContainsScalar(b *testing.B) {
+	f, probes := blockedBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterBloomBlockedContainsBatch(b *testing.B) {
+	f, probes := blockedBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}
+
+func cuckooBenchSetup(b *testing.B) (*cuckoo.Filter, []uint64) {
+	cuckooBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 33)
+		f := cuckoo.New(n, 13)
+		for _, k := range members {
+			if benchSetupErr = f.Insert(k); benchSetupErr != nil {
+				return
+			}
+		}
+		cuckooBenchFilter = f
+		cuckooBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 33))
+	})
+	if cuckooBenchFilter == nil {
+		b.Fatal(benchSetupErr)
+	}
+	return cuckooBenchFilter, cuckooBenchKeys
+}
+
+func BenchmarkFilterCuckooContainsScalar(b *testing.B) {
+	f, probes := cuckooBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterCuckooContainsBatch(b *testing.B) {
+	f, probes := cuckooBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}
+
+func quotientBenchSetup(b *testing.B) (*quotient.Filter, []uint64) {
+	quotientBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 34)
+		q := uint(1)
+		for float64(uint64(1)<<q)*0.9 < float64(n) {
+			q++
+		}
+		f := quotient.New(q, 10)
+		for _, k := range members {
+			if benchSetupErr = f.Insert(k); benchSetupErr != nil {
+				return
+			}
+		}
+		quotientBenchF = f
+		quotientBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 34))
+	})
+	if quotientBenchF == nil {
+		b.Fatal(benchSetupErr)
+	}
+	return quotientBenchF, quotientBenchKeys
+}
+
+func BenchmarkFilterQuotientContainsScalar(b *testing.B) {
+	f, probes := quotientBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterQuotientContainsBatch(b *testing.B) {
+	f, probes := quotientBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}
+
+func xorBenchSetup(b *testing.B) (*xorfilter.Filter, []uint64) {
+	xorBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 35)
+		f, err := xorfilter.New(members, 10)
+		if err != nil {
+			benchSetupErr = err
+			return
+		}
+		xorBenchFilter = f
+		xorBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 35))
+	})
+	if xorBenchFilter == nil {
+		b.Fatal(benchSetupErr)
+	}
+	return xorBenchFilter, xorBenchKeys
+}
+
+func BenchmarkFilterXorContainsScalar(b *testing.B) {
+	f, probes := xorBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterXorContainsBatch(b *testing.B) {
+	f, probes := xorBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}
+
+func shardedBenchSetup(b *testing.B) (*concurrent.Sharded, []uint64) {
+	shardedBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 36)
+		// 16 shards: a 256-key batch puts ~16 keys in each shard's
+		// sub-batch, enough for the per-shard batched probe to matter on
+		// top of the one-lock-per-shard amortization.
+		s, err := concurrent.NewSharded(4, func(int) core.DeletableFilter {
+			return cuckoo.New(n/(1<<4), 13)
+		})
+		if err != nil {
+			benchSetupErr = err
+			return
+		}
+		for _, k := range members {
+			if benchSetupErr = s.Insert(k); benchSetupErr != nil {
+				return
+			}
+		}
+		shardedBenchF = s
+		shardedBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 36))
+	})
+	if shardedBenchF == nil {
+		b.Fatal(benchSetupErr)
+	}
+	return shardedBenchF, shardedBenchKeys
+}
+
+func BenchmarkFilterShardedContainsScalar(b *testing.B) {
+	f, probes := shardedBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterShardedContainsBatch(b *testing.B) {
+	f, probes := shardedBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}

@@ -1,0 +1,193 @@
+package beyondbloom
+
+// Property tests for the batched query engine: every filter that
+// implements core.BatchFilter must agree exactly with its own scalar
+// Contains on arbitrary batches — random, duplicate-heavy, empty,
+// single-key, odd-length, and mixed present/absent. Batching is a pure
+// performance transform; any divergence is a bug.
+
+import (
+	"math/rand"
+	"testing"
+
+	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/concurrent"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/cuckoo"
+	"beyondbloom/internal/quotient"
+	"beyondbloom/internal/workload"
+	"beyondbloom/internal/xorfilter"
+)
+
+// batchFixture is one BatchFilter implementation loaded with half of
+// its key set (so batches mix members and non-members).
+type batchFixture struct {
+	name string
+	f    core.BatchFilter
+	keys []uint64 // keys[:len/2] inserted, rest absent
+}
+
+const propN = 1 << 14
+
+func batchFixtures(t *testing.T) []batchFixture {
+	t.Helper()
+	keys := workload.Keys(propN, 97)
+	half := keys[:propN/2]
+
+	bf := bloom.New(propN, 1.0/1024)
+	bb := bloom.NewBlocked(propN, 12)
+	cf := cuckoo.New(propN, 13)
+	qf := quotient.New(15, 10)
+	for _, k := range half {
+		bf.Insert(k)
+		bb.Insert(k)
+		if err := cf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := qf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xf, err := xorfilter.New(half, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := concurrent.NewSharded(4, func(int) core.DeletableFilter {
+		return cuckoo.New(propN/8, 13)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range half {
+		if err := sh.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []batchFixture{
+		{"bloom", bf, keys},
+		{"bloom_blocked", bb, keys},
+		{"cuckoo", cf, keys},
+		{"quotient", qf, keys},
+		{"xor", xf, keys},
+		{"sharded_cuckoo", sh, keys},
+	}
+}
+
+// assertBatchMatchesScalar probes fx with batch both ways and fails on
+// the first disagreement.
+func assertBatchMatchesScalar(t *testing.T, fx batchFixture, batch []uint64) {
+	t.Helper()
+	out := make([]bool, len(batch)+3)
+	for i := range out {
+		out[i] = i%2 == 0 // stale garbage the batch must overwrite
+	}
+	fx.f.ContainsBatch(batch, out)
+	for i, k := range batch {
+		if want := fx.f.Contains(k); out[i] != want {
+			t.Fatalf("%s: batch[%d] (key %d) = %v, scalar = %v (batch len %d)",
+				fx.name, i, k, out[i], want, len(batch))
+		}
+	}
+}
+
+func TestBatchScalarEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	fixtures := batchFixtures(t)
+	absent := workload.DisjointKeys(propN, 97)
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			// Adversarial shapes: empty, nil, single key, odd lengths,
+			// exactly one chunk, one chunk ± 1.
+			assertBatchMatchesScalar(t, fx, nil)
+			assertBatchMatchesScalar(t, fx, []uint64{})
+			assertBatchMatchesScalar(t, fx, fx.keys[:1])
+			assertBatchMatchesScalar(t, fx, absent[:1])
+			for _, n := range []int{3, 17, 255, 256, 257, 511, 1001} {
+				assertBatchMatchesScalar(t, fx, fx.keys[:n])
+			}
+			// Duplicate-heavy: one key repeated, and a pair alternating.
+			dup := make([]uint64, 301)
+			for i := range dup {
+				dup[i] = fx.keys[0]
+				if i%2 == 1 {
+					dup[i] = absent[0]
+				}
+			}
+			assertBatchMatchesScalar(t, fx, dup)
+			// Random mixed batches of random lengths.
+			for trial := 0; trial < 20; trial++ {
+				n := 1 + rng.Intn(1500)
+				batch := make([]uint64, n)
+				for i := range batch {
+					switch rng.Intn(3) {
+					case 0:
+						batch[i] = fx.keys[rng.Intn(len(fx.keys))] // maybe member
+					case 1:
+						batch[i] = absent[rng.Intn(len(absent))] // absent
+					default:
+						batch[i] = rng.Uint64() // arbitrary
+					}
+				}
+				assertBatchMatchesScalar(t, fx, batch)
+			}
+		})
+	}
+}
+
+// TestBatchAfterMutation re-checks equivalence after deletions and
+// further insertions for the dynamic filters, so the batched path can't
+// go stale against mutation (victim caches, run shifts, ...).
+func TestBatchAfterMutation(t *testing.T) {
+	keys := workload.Keys(propN, 98)
+	cf := cuckoo.New(propN, 13)
+	qf := quotient.New(15, 10)
+	for _, k := range keys[:propN/2] {
+		if err := cf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := qf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys[:propN/8] { // delete a quarter of the members
+		if err := cf.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := qf.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys[propN/2 : propN*5/8] { // insert fresh keys
+		if err := cf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := qf.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fx := range []batchFixture{{"cuckoo", cf, keys}, {"quotient", qf, keys}} {
+		assertBatchMatchesScalar(t, fx, keys)
+	}
+}
+
+// TestBatchSaturatedQuotient covers the degenerate always-true state.
+func TestBatchSaturatedQuotient(t *testing.T) {
+	qf := quotient.New(4, 2)
+	qf.SetAutoExpand(true)
+	for k := uint64(0); k < 1<<12; k++ {
+		if err := qf.Insert(k * 0x9E3779B97F4A7C15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !qf.Saturated() {
+		t.Skip("filter did not saturate at this size")
+	}
+	batch := workload.Keys(500, 99)
+	out := make([]bool, len(batch))
+	qf.ContainsBatch(batch, out)
+	for i := range out {
+		if !out[i] {
+			t.Fatal("saturated filter must answer true for every key")
+		}
+	}
+}

@@ -68,6 +68,12 @@ func (v *Vector) OnesCount() int {
 // SizeBits returns the memory footprint of the payload in bits.
 func (v *Vector) SizeBits() int { return len(v.words) * 64 }
 
+// Words exposes the backing 64-bit words as a read-only view for
+// batched probing: bit i lives at Words()[i>>6] bit (i&63). Callers
+// must not mutate the returned slice; it aliases the vector's storage
+// and stays valid until the next Append.
+func (v *Vector) Words() []uint64 { return v.words }
+
 // word returns the i-th 64-bit word (for the rank index).
 func (v *Vector) word(i int) uint64 { return v.words[i] }
 
@@ -176,18 +182,38 @@ func (rs *RankSelect) SizeBits() int { return len(rs.cum) * 32 }
 // the quotient filter, fingerprints in table filters, and Elias–Fano low
 // bits.
 type Packed struct {
-	words []uint64
-	n     int
-	w     uint // bits per element, 0 < w <= 64
+	words        []uint64
+	n            int
+	w            uint // bits per element, 0 < w <= 64
+	payloadWords int  // words holding elements; words has one extra pad
 }
 
 // NewPacked returns a Packed array of n elements, each w bits, all zero.
+// One padding word is allocated past the payload so Window64 can always
+// read two adjacent words without a bounds branch; SizeBits still
+// reports only the payload.
 func NewPacked(n int, w uint) *Packed {
 	if w == 0 || w > 64 {
 		panic(fmt.Sprintf("bitvec: invalid element width %d", w))
 	}
 	totalBits := n * int(w)
-	return &Packed{words: make([]uint64, (totalBits+63)/64), n: n, w: w}
+	payload := (totalBits + 63) / 64
+	return &Packed{words: make([]uint64, payload+1), n: n, w: w, payloadWords: payload}
+}
+
+// Window64 returns 64 bits of the array starting at element i's first
+// bit: element i sits in the low w bits, element i+1 in the next w, and
+// so on as far as 64 bits reach. It reads exactly two adjacent words
+// with no data-dependent branch, which makes it the building block for
+// batched probes that must not stall the pipeline (a cuckoo bucket of
+// 4 fingerprints ≤ 16 bits wide is one Window64 call).
+func (p *Packed) Window64(i int) uint64 {
+	bitPos := uint64(i) * uint64(p.w)
+	word := bitPos >> 6
+	off := bitPos & 63
+	// Go defines x<<64 as 0, so off == 0 contributes nothing from the
+	// neighbour word and the blend needs no branch.
+	return p.words[word]>>off | p.words[word+1]<<(64-off)
 }
 
 // Len returns the number of elements.
@@ -223,8 +249,9 @@ func (p *Packed) Set(i int, x uint64) {
 	}
 }
 
-// SizeBits returns the payload footprint in bits.
-func (p *Packed) SizeBits() int { return len(p.words) * 64 }
+// SizeBits returns the payload footprint in bits (excluding the
+// Window64 padding word).
+func (p *Packed) SizeBits() int { return p.payloadWords * 64 }
 
 func maskW(w uint) uint64 {
 	if w >= 64 {

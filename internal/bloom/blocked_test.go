@@ -1,0 +1,82 @@
+package bloom
+
+import (
+	"testing"
+
+	"beyondbloom/internal/workload"
+)
+
+func TestBlockedNoFalseNegatives(t *testing.T) {
+	const n = 50000
+	keys := workload.Keys(n, 1)
+	f := NewBlocked(n, 12)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+	if f.Len() != n {
+		t.Fatalf("Len = %d, want %d", f.Len(), n)
+	}
+}
+
+func TestBlockedFPRReasonable(t *testing.T) {
+	const n = 50000
+	keys := workload.Keys(n, 2)
+	neg := workload.DisjointKeys(4*n, 2)
+	f := NewBlocked(n, 12)
+	for _, k := range keys {
+		f.Insert(k)
+	}
+	fp := 0
+	for _, k := range neg {
+		if f.Contains(k) {
+			fp++
+		}
+	}
+	fpr := float64(fp) / float64(len(neg))
+	// A classic filter at 12 bits/key gives ~3e-4; blocking costs a
+	// small constant factor (block imbalance). Anything within ~10x of
+	// the classic rate means the layout works; 1e-2 would mean broken
+	// hashing.
+	if fpr > 5e-3 {
+		t.Fatalf("blocked FPR %v too high for 12 bits/key", fpr)
+	}
+}
+
+func TestBlockedBatchMatchesScalar(t *testing.T) {
+	const n = 20000
+	keys := workload.Keys(n, 3)
+	f := NewBlocked(n, 10)
+	for _, k := range keys[:n/2] {
+		f.Insert(k)
+	}
+	out := make([]bool, n)
+	f.ContainsBatch(keys, out)
+	for i, k := range keys {
+		if out[i] != f.Contains(k) {
+			t.Fatalf("batch/scalar disagree at %d", i)
+		}
+	}
+}
+
+func TestBlockedProbesStayInOneBlock(t *testing.T) {
+	f := NewBlocked(1000, 16)
+	for key := uint64(0); key < 1000; key++ {
+		base, g1, g2 := f.hashState(key)
+		if base%blockWords != 0 || base >= uint64(len(f.words)) {
+			t.Fatalf("block base %d out of range", base)
+		}
+		for i := uint(0); i < f.k; i++ {
+			pos := probePos(g1, g2, i)
+			if pos >= blockWords*64 {
+				t.Fatalf("probe position %d escapes the 512-bit block", pos)
+			}
+		}
+	}
+}

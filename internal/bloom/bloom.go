@@ -84,6 +84,57 @@ func (f *Filter) Contains(key uint64) bool {
 	return true
 }
 
+// ContainsBatch probes every key, writing Contains(keys[i]) into
+// out[i]. The batch is processed in chunks: all hash state for a chunk
+// is computed up front (hash-once), then each hash-function round runs
+// three tight loops over the surviving keys (probe-many) — compute
+// positions, issue all filter-word loads into a stack buffer, then test
+// bits and compact survivors arithmetically. Keeping the load loop pure
+// lets the round's cache misses all be in flight at once, and keeping
+// the data-dependent compaction chain on the L1-resident buffers keeps
+// it off the miss path — the scalar loop instead serializes each miss
+// behind the previous key's early-exit branch.
+func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	words := f.bits.Words()
+	var h1s, h2s, w [core.BatchChunk]uint64
+	var pos [core.BatchChunk]uint64
+	var live [core.BatchChunk]uint16
+	for base := 0; base < len(keys); base += core.BatchChunk {
+		chunk := keys[base:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[base : base+len(chunk)]
+		for i, k := range chunk {
+			h1s[i], h2s[i] = hashutil.SplitHash(hashutil.MixSeed(k, f.seed))
+			co[i] = false
+			live[i] = uint16(i)
+		}
+		n := len(chunk)
+		for round := uint(0); round < f.k && n > 0; round++ {
+			for s := 0; s < n; s++ {
+				i := live[s]
+				pos[s] = hashutil.Reduce(hashutil.KHash(h1s[i], h2s[i], round), f.m)
+			}
+			for s := 0; s < n; s++ {
+				w[s] = words[pos[s]>>6]
+			}
+			nl := 0
+			for s := 0; s < n; s++ {
+				bit := w[s] >> (pos[s] & 63) & 1
+				live[nl] = live[s]
+				nl += int(bit)
+			}
+			n = nl
+		}
+		// Keys that survived every round are (possible) members.
+		for s := 0; s < n; s++ {
+			co[live[s]] = true
+		}
+	}
+}
+
 // Len returns the number of inserted keys.
 func (f *Filter) Len() int { return f.n }
 
@@ -96,4 +147,7 @@ func (f *Filter) FillRatio() float64 {
 	return float64(f.bits.OnesCount()) / float64(f.m)
 }
 
-var _ core.MutableFilter = (*Filter)(nil)
+var (
+	_ core.MutableFilter = (*Filter)(nil)
+	_ core.BatchFilter   = (*Filter)(nil)
+)

@@ -1,0 +1,104 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/cuckoo"
+	"beyondbloom/internal/dleft"
+	"beyondbloom/internal/workload"
+)
+
+func newShardedCuckoo(t testing.TB, logShards uint, perShard int) *Sharded {
+	t.Helper()
+	s, err := NewSharded(logShards, func(int) core.DeletableFilter {
+		return cuckoo.New(perShard, 14)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedContainsBatchMatchesScalar(t *testing.T) {
+	const n = 20000
+	s := newShardedCuckoo(t, 4, n)
+	keys := workload.Keys(n, 11)
+	for _, k := range keys[:n/2] {
+		if err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probes := append(append([]uint64{}, keys...), workload.DisjointKeys(n, 11)...)
+	out := make([]bool, len(probes))
+	s.ContainsBatch(probes, out)
+	for i, k := range probes {
+		if out[i] != s.Contains(k) {
+			t.Fatalf("batch/scalar disagree for key %d at %d", k, i)
+		}
+	}
+}
+
+func TestCountingContainsBatchMatchesScalar(t *testing.T) {
+	const n = 5000
+	c, err := NewCounting(3, func(int) core.CountingFilter {
+		return dleft.New(n, 12, 4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := workload.Keys(n, 12)
+	for _, k := range keys[:n/2] {
+		if err := c.Add(k, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]bool, len(keys))
+	c.ContainsBatch(keys, out)
+	for i, k := range keys {
+		if out[i] != c.Contains(k) {
+			t.Fatalf("batch/scalar disagree for key %d at %d", k, i)
+		}
+	}
+}
+
+// TestShardedBatchUnderWriters drives batched readers concurrently with
+// writers: keys inserted before the readers start must never be missed
+// (no false negatives under concurrency), and -race must stay quiet.
+func TestShardedBatchUnderWriters(t *testing.T) {
+	const n = 8000
+	s := newShardedCuckoo(t, 3, 4*n)
+	stable := workload.Keys(n, 13)
+	extra := workload.DisjointKeys(n, 13)
+	for _, k := range stable {
+		if err := s.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, k := range extra {
+			_ = s.Insert(k)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]bool, len(stable))
+			for iter := 0; iter < 20; iter++ {
+				s.ContainsBatch(stable, out)
+				for i := range out {
+					if !out[i] {
+						t.Errorf("false negative for stable key %d", stable[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -28,9 +28,10 @@ var errNilBuild = errors.New("concurrent: nil build function")
 // The shard is chosen by high bits of the key's hash, so each sub-filter
 // sees a uniform slice of the key space and capacity splits evenly.
 type Sharded struct {
-	shards []shard
-	mask   uint64
-	seed   uint64
+	shards  []shard
+	mask    uint64
+	seed    uint64
+	scratch sync.Pool // *batchScratch, reused across ContainsBatch calls
 }
 
 type shard struct {
@@ -90,6 +91,98 @@ func (s *Sharded) Contains(key uint64) bool {
 	return sh.f.Contains(key)
 }
 
+// batchScratch holds the buffers of one sharded batch probe: the routed
+// shard of every key, per-shard bucket boundaries, and the keys
+// permuted into shard order. Pooled so steady-state batches allocate
+// nothing.
+type batchScratch struct {
+	shardIdx []uint32
+	bounds   []int32 // len shards+1: bucket j occupies [bounds[j], bounds[j+1])
+	cursors  []int32
+	keys     []uint64 // keys permuted into shard order
+	origin   []int32  // original batch index of permuted slot j
+	res      []bool   // sub-batch answers, permuted order
+}
+
+func (sc *batchScratch) ensure(n, shards int) {
+	if cap(sc.shardIdx) < n {
+		sc.shardIdx = make([]uint32, n)
+		sc.keys = make([]uint64, n)
+		sc.origin = make([]int32, n)
+		sc.res = make([]bool, n)
+	}
+	if cap(sc.bounds) < shards+1 {
+		sc.bounds = make([]int32, shards+1)
+		sc.cursors = make([]int32, shards)
+	}
+}
+
+// groupByShard routes keys, counting-sorts them into shard order inside
+// sc, and returns the number of shards. After it returns, shard j's
+// sub-batch is sc.keys[sc.bounds[j]:sc.bounds[j+1]], and sc.origin maps
+// permuted slots back to batch positions.
+func groupByShard(sc *batchScratch, keys []uint64, seed, mask uint64, shards int) {
+	sc.ensure(len(keys), shards)
+	shardIdx := sc.shardIdx[:len(keys)]
+	for i, k := range keys {
+		shardIdx[i] = uint32(hashutil.MixSeed(k, seed) >> 48 & mask)
+	}
+	bounds := sc.bounds[:shards+1]
+	cursors := sc.cursors[:shards]
+	for i := range cursors {
+		cursors[i] = 0
+	}
+	for _, si := range shardIdx {
+		cursors[si]++
+	}
+	sum := int32(0)
+	for i, c := range cursors {
+		bounds[i] = sum
+		cursors[i] = sum
+		sum += c
+	}
+	bounds[shards] = sum
+	for i, k := range keys {
+		si := shardIdx[i]
+		j := cursors[si]
+		cursors[si] = j + 1
+		sc.keys[j] = k
+		sc.origin[j] = int32(i)
+	}
+}
+
+// ContainsBatch probes every key (see core.BatchFilter). The batch is
+// counting-sorted by shard so each shard's lock is taken once for its
+// whole sub-batch — one acquisition per touched shard instead of one
+// per key — and each sub-batch uses the shard filter's own batched
+// probe when it has one.
+func (s *Sharded) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	if len(keys) == 0 {
+		return
+	}
+	sc, _ := s.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	shards := len(s.shards)
+	groupByShard(sc, keys, s.seed, s.mask, shards)
+	for j := 0; j < shards; j++ {
+		lo, hi := sc.bounds[j], sc.bounds[j+1]
+		if lo == hi {
+			continue
+		}
+		sh := &s.shards[j]
+		sh.mu.RLock()
+		core.ContainsBatch(sh.f, sc.keys[lo:hi], sc.res[lo:hi])
+		sh.mu.RUnlock()
+	}
+	for j := 0; j < len(keys); j++ {
+		out[sc.origin[j]] = sc.res[j]
+	}
+	s.scratch.Put(sc)
+}
+
 // SizeBits sums the shards.
 func (s *Sharded) SizeBits() int {
 	total := 0
@@ -104,13 +197,17 @@ func (s *Sharded) SizeBits() int {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-var _ core.DeletableFilter = (*Sharded)(nil)
+var (
+	_ core.DeletableFilter = (*Sharded)(nil)
+	_ core.BatchFilter     = (*Sharded)(nil)
+)
 
 // Counting is the sharded wrapper for counting filters.
 type Counting struct {
-	shards []countingShard
-	mask   uint64
-	seed   uint64
+	shards  []countingShard
+	mask    uint64
+	seed    uint64
+	scratch sync.Pool // *batchScratch, reused across ContainsBatch calls
 }
 
 type countingShard struct {
@@ -168,6 +265,37 @@ func (c *Counting) Count(key uint64) uint64 {
 // Contains reports whether key may be present.
 func (c *Counting) Contains(key uint64) bool { return c.Count(key) > 0 }
 
+// ContainsBatch probes every key (see core.BatchFilter), grouping the
+// batch by shard so each shard's lock is taken once per sub-batch.
+func (c *Counting) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	if len(keys) == 0 {
+		return
+	}
+	sc, _ := c.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	shards := len(c.shards)
+	groupByShard(sc, keys, c.seed, c.mask, shards)
+	for j := 0; j < shards; j++ {
+		lo, hi := sc.bounds[j], sc.bounds[j+1]
+		if lo == hi {
+			continue
+		}
+		sh := &c.shards[j]
+		sh.mu.RLock()
+		for i := lo; i < hi; i++ {
+			sc.res[i] = sh.f.Count(sc.keys[i]) > 0
+		}
+		sh.mu.RUnlock()
+	}
+	for j := 0; j < len(keys); j++ {
+		out[sc.origin[j]] = sc.res[j]
+	}
+	c.scratch.Put(sc)
+}
+
 // SizeBits sums the shards.
 func (c *Counting) SizeBits() int {
 	total := 0
@@ -179,4 +307,7 @@ func (c *Counting) SizeBits() int {
 	return total
 }
 
-var _ core.CountingFilter = (*Counting)(nil)
+var (
+	_ core.CountingFilter = (*Counting)(nil)
+	_ core.BatchFilter    = (*Counting)(nil)
+)

@@ -1,0 +1,40 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"beyondbloom/internal/workload"
+)
+
+func TestContainsZeroAllocs(t *testing.T) {
+	f := New(10000, 13)
+	keys := workload.Keys(10000, 5)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		f.Contains(keys[0])
+		f.Contains(0xDEADBEEF)
+	}); avg != 0 {
+		t.Fatalf("cuckoo.Contains allocates %v per run, want 0", avg)
+	}
+}
+
+func TestContainsBatchZeroAllocs(t *testing.T) {
+	f := New(10000, 13)
+	keys := workload.Keys(10000, 6)
+	for _, k := range keys {
+		if err := f.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := keys[:300]
+	out := make([]bool, len(batch))
+	if avg := testing.AllocsPerRun(100, func() {
+		f.ContainsBatch(batch, out)
+	}); avg != 0 {
+		t.Fatalf("cuckoo.ContainsBatch allocates %v per run, want 0", avg)
+	}
+}

@@ -180,12 +180,112 @@ func (f *Filter) victimMatches(fp, i1, i2 uint64) bool {
 func (f *Filter) Contains(key uint64) bool {
 	i1, fp := f.indexAndFP(key)
 	i2 := f.altIndex(i1, fp)
+	return f.containsHashed(i1, i2, fp)
+}
+
+// containsHashed finishes a lookup whose hash state (both candidate
+// buckets and the fingerprint) is already computed.
+func (f *Filter) containsHashed(i1, i2, fp uint64) bool {
 	for s := 0; s < BucketSize; s++ {
 		if f.bucketSlot(i1, s) == fp || f.bucketSlot(i2, s) == fp {
 			return true
 		}
 	}
 	return f.victimMatches(fp, i1, i2)
+}
+
+// bucketWindowMissesFP returns 1 if none of the 4 fingerprints packed
+// in win (low 4·fpBits bits, from Packed.Window64) equals fp, else 0 —
+// with no data-dependent branch: each lane's mismatch is collapsed to
+// the top bit of (d|-d) and the lanes are AND-ed arithmetically, so the
+// result can feed survivor compaction as an addend.
+func bucketWindowMissesFP(win, fp, mask uint64, w uint) uint64 {
+	d0 := win&mask ^ fp
+	d1 := win>>w&mask ^ fp
+	d2 := win>>(2*w)&mask ^ fp
+	d3 := win>>(3*w)&mask ^ fp
+	return (d0 | -d0) & (d1 | -d1) & (d2 | -d2) & (d3 | -d3) >> 63
+}
+
+// ContainsBatch probes every key (see core.BatchFilter). Both candidate
+// bucket indices and the fingerprint are precomputed for a whole chunk
+// (hash-once); then bucket 1 is probed for every key in a branch-free
+// loop — one Window64 read and a 4-lane compare — and only the misses
+// go on to probe bucket 2. The pure probe loops let each round's cache
+// misses overlap across keys instead of serializing behind the scalar
+// path's early-exit branches.
+func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	if 4*f.fpBits > 64 {
+		// A bucket no longer fits one 64-bit window; fall back to the
+		// slot-by-slot probe (fingerprints this wide are unusual).
+		f.containsBatchWide(keys, out)
+		return
+	}
+	mask := uint64(1)<<f.fpBits - 1
+	var i1s, i2s, fps, wins [core.BatchChunk]uint64
+	var live [core.BatchChunk]uint16
+	for start := 0; start < len(keys); start += core.BatchChunk {
+		chunk := keys[start:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[start : start+len(chunk)]
+		for i, k := range chunk {
+			i1, fp := f.indexAndFP(k)
+			i1s[i], i2s[i], fps[i] = i1, f.altIndex(i1, fp), fp
+		}
+		// Round 1: every key probes its first bucket. The window reads
+		// get a pure loop of their own so the misses all pipeline; the
+		// compare-and-compact loop then runs entirely out of L1.
+		for i := range chunk {
+			wins[i] = f.slots.Window64(int(i1s[i]) * BucketSize)
+		}
+		n := 0
+		for i := range chunk {
+			miss := bucketWindowMissesFP(wins[i], fps[i], mask, f.fpBits)
+			co[i] = miss == 0
+			live[n] = uint16(i)
+			n += int(miss)
+		}
+		// Round 2: only round-1 misses probe their second bucket.
+		for s := 0; s < n; s++ {
+			wins[s] = f.slots.Window64(int(i2s[live[s]]) * BucketSize)
+		}
+		for s := 0; s < n; s++ {
+			i := live[s]
+			co[i] = bucketWindowMissesFP(wins[s], fps[i], mask, f.fpBits) == 0
+		}
+		// Victim cache: only consulted for keys both buckets missed.
+		if f.victim.valid {
+			for s := 0; s < n; s++ {
+				i := live[s]
+				if !co[i] {
+					co[i] = f.victimMatches(fps[i], i1s[i], i2s[i])
+				}
+			}
+		}
+	}
+}
+
+// containsBatchWide is the ContainsBatch fallback for fingerprints too
+// wide to pack a bucket into one 64-bit window.
+func (f *Filter) containsBatchWide(keys []uint64, out []bool) {
+	var i1s, i2s, fps [core.BatchChunk]uint64
+	for start := 0; start < len(keys); start += core.BatchChunk {
+		chunk := keys[start:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[start : start+len(chunk)]
+		for i, k := range chunk {
+			i1, fp := f.indexAndFP(k)
+			i1s[i], i2s[i], fps[i] = i1, f.altIndex(i1, fp), fp
+		}
+		for i := range chunk {
+			co[i] = f.containsHashed(i1s[i], i2s[i], fps[i])
+		}
+	}
 }
 
 // Delete removes one copy of key's fingerprint. Returns ErrNotFound if
@@ -236,4 +336,7 @@ func (f *Filter) LoadFactor() float64 {
 // SizeBits returns the table footprint in bits.
 func (f *Filter) SizeBits() int { return f.slots.SizeBits() }
 
-var _ core.DeletableFilter = (*Filter)(nil)
+var (
+	_ core.DeletableFilter = (*Filter)(nil)
+	_ core.BatchFilter     = (*Filter)(nil)
+)

@@ -88,12 +88,14 @@ func addE1Row(t *metrics.Table, name string, eps float64, f core.Filter, n int, 
 
 // runE2 reproduces §2.1's mechanics story: quotient (Robin Hood shifting)
 // and cuckoo (kicking) both slow down as occupancy rises; cuckoo inserts
-// start failing near 95%.
+// start failing near 95%. The batch columns probe the same keys through
+// ContainsBatch in 256-key batches — hash-once/probe-many lookups whose
+// advantage grows with the filter's working set (see DESIGN.md).
 func runE2(cfg Config) []*metrics.Table {
 	n := cfg.n(200000)
 	keys := workload.Keys(n+n/2, 2)
 	t := metrics.NewTable("E2: dynamic filter ops/sec vs occupancy",
-		"filter", "load", "insert_Mops", "lookup_Mops")
+		"filter", "load", "insert_Mops", "lookup_Mops", "batch_Mops", "batch_speedup")
 
 	// Quotient filter sized so n keys reach ~0.94 load.
 	q := uint(1)
@@ -129,21 +131,52 @@ func runE2(cfg Config) []*metrics.Table {
 			}
 		}) / 1e6
 		probes := keys[:count]
-		lookQF := opsPerSec(count, func() {
+		lookQF := bestOfRuns(count, func() {
 			for _, k := range probes {
 				qf.Contains(k)
 			}
 		}) / 1e6
-		lookCF := opsPerSec(count, func() {
+		lookCF := bestOfRuns(count, func() {
 			for _, k := range probes {
 				cf.Contains(k)
 			}
 		}) / 1e6
-		t.AddRow("quotient", band, insQF, lookQF)
-		t.AddRow("cuckoo", band, insCF, lookCF)
+		batchQF := batchLookupMops(qf, probes)
+		batchCF := batchLookupMops(cf, probes)
+		t.AddRow("quotient", band, insQF, lookQF, batchQF, batchQF/lookQF)
+		t.AddRow("cuckoo", band, insCF, lookCF, batchCF, batchCF/lookCF)
 		start = target
 	}
 	return []*metrics.Table{t}
+}
+
+// bestOfRuns times fn three times and returns the best ops/sec — only
+// valid for idempotent work (lookups), where repetition squeezes out
+// the scheduler noise a single sub-millisecond pass cannot.
+func bestOfRuns(n int, fn func()) float64 {
+	best := 0.0
+	for r := 0; r < 3; r++ {
+		if v := opsPerSec(n, fn); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// batchLookupMops measures ContainsBatch throughput over probes in
+// 256-key batches with a reused out slice, in millions of keys/sec.
+func batchLookupMops(f core.BatchFilter, probes []uint64) float64 {
+	const batchSize = 256
+	out := make([]bool, batchSize)
+	return bestOfRuns(len(probes), func() {
+		for base := 0; base < len(probes); base += batchSize {
+			end := base + batchSize
+			if end > len(probes) {
+				end = len(probes)
+			}
+			f.ContainsBatch(probes[base:end], out[:end-base])
+		}
+	}) / 1e6
 }
 
 // runE8 reproduces §2.7: static filters' build cost, query cost and

@@ -1,0 +1,70 @@
+package hashutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// Sum64String must agree with Sum64 byte for byte: it is the same
+// algorithm over the other byte-string representation.
+func TestSum64StringMatchesSum64(t *testing.T) {
+	cases := []string{
+		"", "a", "abc", "0123456", "01234567", "0123456789ab",
+		"0123456789abcde", "0123456789abcdef",
+		strings.Repeat("chunky32bytes---", 2),
+		strings.Repeat("long input spanning many 32-byte blocks ", 13),
+	}
+	for _, s := range cases {
+		for _, seed := range []uint64{0, 1, 0x9e5, ^uint64(0)} {
+			if got, want := Sum64String(s, seed), Sum64([]byte(s), seed); got != want {
+				t.Errorf("Sum64String(%q, %d) = %#x, Sum64 = %#x", s, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestSumU64MatchesMixSeed(t *testing.T) {
+	for x := uint64(0); x < 100; x++ {
+		if SumU64(x, 42) != MixSeed(x, 42) {
+			t.Fatalf("SumU64(%d) diverges from MixSeed", x)
+		}
+	}
+}
+
+func TestAppendU64(t *testing.T) {
+	buf := AppendU64(nil, 0x0807060504030201)
+	for i, want := range []byte{1, 2, 3, 4, 5, 6, 7, 8} {
+		if buf[i] != want {
+			t.Fatalf("AppendU64 byte %d = %d, want %d", i, buf[i], want)
+		}
+	}
+	// Round-trips through the byte-oriented hash identically to U64Bytes.
+	if Sum64(buf, 7) != Sum64(U64Bytes(0x0807060504030201), 7) {
+		t.Fatal("AppendU64 and U64Bytes hash differently")
+	}
+}
+
+func TestStringHashingZeroAllocs(t *testing.T) {
+	url := "https://example.com/some/long/path?with=query&and=params"
+	if avg := testing.AllocsPerRun(100, func() {
+		Sum64String(url, 0x09e5)
+		SumU64(12345, 0x09e5)
+	}); avg != 0 {
+		t.Fatalf("string/uint64 hash path allocates %v per run, want 0", avg)
+	}
+	var scratch [8]byte
+	if avg := testing.AllocsPerRun(100, func() {
+		buf := AppendU64(scratch[:0], 987654321)
+		Sum64(buf, 1)
+	}); avg != 0 {
+		t.Fatalf("AppendU64 into caller buffer allocates %v per run, want 0", avg)
+	}
+}
+
+func BenchmarkSum64String(b *testing.B) {
+	s := "https://example.com/some/long/path?with=query&and=params"
+	b.SetBytes(int64(len(s)))
+	for i := 0; i < b.N; i++ {
+		Sum64String(s, uint64(i))
+	}
+}

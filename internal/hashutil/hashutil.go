@@ -22,22 +22,49 @@ const (
 	prime5 uint64 = 0x27D4EB2F165667C5
 )
 
+// byteSeq abstracts the two byte-string representations so the xxHash64
+// core is written once: hashing a string directly avoids the []byte
+// conversion (and its allocation) that Sum64(([]byte)(s)) would pay on
+// every call.
+type byteSeq interface{ ~[]byte | ~string }
+
+// le64 reads an 8-byte little-endian word at offset i.
+func le64[T byteSeq](b T, i int) uint64 {
+	return uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 |
+		uint64(b[i+3])<<24 | uint64(b[i+4])<<32 | uint64(b[i+5])<<40 |
+		uint64(b[i+6])<<48 | uint64(b[i+7])<<56
+}
+
+// le32 reads a 4-byte little-endian word at offset i.
+func le32[T byteSeq](b T, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
 // Sum64 returns the 64-bit xxHash of b with the given seed.
-func Sum64(b []byte, seed uint64) uint64 {
+func Sum64(b []byte, seed uint64) uint64 { return sum64(b, seed) }
+
+// Sum64String is Sum64 for strings, with identical output for identical
+// bytes. It performs no allocation, so byte-string applications (URL
+// blocking, k-mer text parsing) can hash straight off their inputs in
+// the hot path.
+func Sum64String(s string, seed uint64) uint64 { return sum64(s, seed) }
+
+func sum64[T byteSeq](b T, seed uint64) uint64 {
 	n := len(b)
 	var h uint64
+	i := 0
 
 	if n >= 32 {
 		v1 := seed + prime1 + prime2
 		v2 := seed + prime2
 		v3 := seed
 		v4 := seed - prime1
-		for len(b) >= 32 {
-			v1 = round(v1, binary.LittleEndian.Uint64(b[0:8]))
-			v2 = round(v2, binary.LittleEndian.Uint64(b[8:16]))
-			v3 = round(v3, binary.LittleEndian.Uint64(b[16:24]))
-			v4 = round(v4, binary.LittleEndian.Uint64(b[24:32]))
-			b = b[32:]
+		for n-i >= 32 {
+			v1 = round(v1, le64(b, i))
+			v2 = round(v2, le64(b, i+8))
+			v3 = round(v3, le64(b, i+16))
+			v4 = round(v4, le64(b, i+24))
+			i += 32
 		}
 		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
 			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
@@ -51,18 +78,18 @@ func Sum64(b []byte, seed uint64) uint64 {
 
 	h += uint64(n)
 
-	for len(b) >= 8 {
-		h ^= round(0, binary.LittleEndian.Uint64(b[:8]))
+	for n-i >= 8 {
+		h ^= round(0, le64(b, i))
 		h = bits.RotateLeft64(h, 27)*prime1 + prime4
-		b = b[8:]
+		i += 8
 	}
-	if len(b) >= 4 {
-		h ^= uint64(binary.LittleEndian.Uint32(b[:4])) * prime1
+	if n-i >= 4 {
+		h ^= uint64(le32(b, i)) * prime1
 		h = bits.RotateLeft64(h, 23)*prime2 + prime3
-		b = b[4:]
+		i += 4
 	}
-	for _, c := range b {
-		h ^= uint64(c) * prime5
+	for ; i < n; i++ {
+		h ^= uint64(b[i]) * prime5
 		h = bits.RotateLeft64(h, 11) * prime1
 	}
 
@@ -148,11 +175,29 @@ func SplitHash(h uint64) (h1, h2 uint64) {
 	return
 }
 
+// SumU64 hashes a uint64 key directly through the splitmix64 finalizer
+// — the zero-allocation path integer-keyed callers should take instead
+// of the Sum64(U64Bytes(x), seed) round-trip, which materializes a heap
+// byte slice on every call. It is exactly MixSeed, named for discovery
+// next to the byte-string entry points.
+func SumU64(x, seed uint64) uint64 { return MixSeed(x, seed) }
+
 // U64Bytes serializes x little-endian for byte-oriented hashing.
+// The returned slice escapes, so this allocates; hot paths hashing
+// uint64 keys should call SumU64/MixSeed instead, and serializers
+// should use AppendU64.
 func U64Bytes(x uint64) []byte {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], x)
 	return b[:]
+}
+
+// AppendU64 appends x little-endian to dst, the allocation-free way to
+// feed a uint64 into a byte-oriented hash or encoder: the caller's
+// buffer is reused instead of a fresh slice per key.
+func AppendU64(dst []byte, x uint64) []byte {
+	return append(dst, byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+		byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
 }
 
 // Reduce maps a 64-bit hash uniformly onto [0, n) without division

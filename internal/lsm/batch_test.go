@@ -1,0 +1,121 @@
+package lsm
+
+import (
+	"testing"
+
+	"beyondbloom/internal/fault"
+)
+
+// buildStore loads a deterministic workload: keys 0..n-1 with value
+// 10*key, then deletes every 7th key.
+func buildBatchStore(opts Options, n int) *Store {
+	s := New(opts)
+	for i := 0; i < n; i++ {
+		s.Put(uint64(i)*3, uint64(i)*10)
+	}
+	for i := 0; i < n; i += 7 {
+		s.Delete(uint64(i) * 3)
+	}
+	return s
+}
+
+func batchProbes(n int) []uint64 {
+	// Present keys, deleted keys, absent keys, duplicates.
+	probes := make([]uint64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		probes = append(probes, uint64(i)*3)   // present or tombstoned
+		probes = append(probes, uint64(i)*3+1) // absent
+	}
+	probes = append(probes, probes[:16]...) // duplicates
+	return probes
+}
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	const n = 3000
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"none", Options{Policy: PolicyNone}},
+		{"bloom", Options{Policy: PolicyBloom}},
+		{"monkey", Options{Policy: PolicyMonkey}},
+		{"maplet", Options{Policy: PolicyMaplet}},
+		{"bloom_tiering", Options{Policy: PolicyBloom, Compaction: Tiering}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			scalar := buildBatchStore(tc.opts, n)
+			batch := buildBatchStore(tc.opts, n)
+			probes := batchProbes(n)
+
+			baseScalar := scalar.Device().Reads
+			baseBatch := batch.Device().Reads
+			if baseScalar != baseBatch {
+				t.Fatalf("construction I/O diverged: %d vs %d", baseScalar, baseBatch)
+			}
+
+			values := make([]uint64, len(probes))
+			found := make([]bool, len(probes))
+			batch.GetBatch(probes, values, found)
+			for i, k := range probes {
+				v, ok := scalar.Get(k)
+				if found[i] != ok || (ok && values[i] != v) {
+					t.Fatalf("key %d: batch (%d,%v) vs scalar (%d,%v)", k, values[i], found[i], v, ok)
+				}
+			}
+			// Identical probe workload must charge identical read I/O and
+			// filter probes on both paths.
+			if got, want := batch.Device().Reads-baseBatch, scalar.Device().Reads-baseScalar; got != want {
+				t.Errorf("batch read I/O %d, scalar %d", got, want)
+			}
+			if batch.FilterProbes != scalar.FilterProbes {
+				t.Errorf("batch FilterProbes %d, scalar %d", batch.FilterProbes, scalar.FilterProbes)
+			}
+		})
+	}
+}
+
+func TestGetBatchEdgeBatches(t *testing.T) {
+	s := buildBatchStore(Options{Policy: PolicyBloom}, 500)
+	// Empty batch is a no-op.
+	s.GetBatch(nil, nil, nil)
+	// Single-key batch.
+	values := make([]uint64, 1)
+	found := make([]bool, 1)
+	s.GetBatch([]uint64{3}, values, found)
+	if v, ok := s.Get(3); ok != found[0] || (ok && v != values[0]) {
+		t.Fatalf("single-key batch mismatch")
+	}
+	// Stale output buffers are overwritten.
+	values[0], found[0] = 999, true
+	s.GetBatch([]uint64{1}, values, found) // absent key
+	if found[0] {
+		t.Fatal("stale found not overwritten for absent key")
+	}
+}
+
+// TestGetBatchWithFilterFaults exercises the degraded path: faulted
+// filter probes must fall back to data I/O, never to a wrong answer.
+func TestGetBatchWithFilterFaults(t *testing.T) {
+	const n = 2000
+	opts := Options{
+		Policy:       PolicyBloom,
+		FilterFaults: fault.NewInjector(77, fault.Transient(0.2)),
+	}
+	s := buildBatchStore(opts, n)
+	probes := batchProbes(n)
+	values := make([]uint64, len(probes))
+	found := make([]bool, len(probes))
+	s.GetBatch(probes, values, found)
+	// Answers must be exact regardless of filter faults; compare against
+	// a fault-free scalar store.
+	ref := buildBatchStore(Options{Policy: PolicyBloom}, n)
+	for i, k := range probes {
+		v, ok := ref.Get(k)
+		if found[i] != ok || (ok && values[i] != v) {
+			t.Fatalf("key %d: faulted batch (%d,%v) vs reference (%d,%v)", k, values[i], found[i], v, ok)
+		}
+	}
+	if s.FilterFallbacks == 0 {
+		t.Fatal("expected some faulted filter probes")
+	}
+}

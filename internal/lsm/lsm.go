@@ -580,6 +580,124 @@ func (s *Store) Get(key uint64) (uint64, bool) {
 	return 0, false
 }
 
+// GetBatch performs a batch of point lookups, writing the value and
+// presence of keys[i] into values[i] and found[i] (both must be at
+// least len(keys) long). Results and I/O accounting are identical to
+// calling Get per key; the win is on the filter side: each run's filter
+// is probed with the whole surviving key batch through its native
+// batched path (hash-once/probe-many) before any data block is touched,
+// instead of re-entering the filter once per key.
+func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
+	_ = values[:len(keys)]
+	_ = found[:len(keys)]
+	pending := make([]int32, 0, len(keys))
+	for i, k := range keys {
+		values[i], found[i] = 0, false
+		if e, ok := s.memtable[k]; ok {
+			values[i], found[i] = e.Value, !e.Tombstone
+			continue
+		}
+		pending = append(pending, int32(i))
+	}
+	if len(pending) == 0 {
+		return
+	}
+	if s.opts.Policy == PolicyMaplet {
+		// The maplet is a point structure routing each key to ~one run;
+		// there is no per-run filter to amortize, so the batch devolves
+		// to the scalar path per key.
+		for _, i := range pending {
+			values[i], found[i] = s.mapletGet(keys[i])
+		}
+		return
+	}
+	// Scratch for the per-run sub-batches. inRange holds the pending
+	// batch positions whose key falls in the run's key range; probeKeys/
+	// probeOut hold the (smaller) sub-batch whose filter probe was
+	// usable; resolved marks batch positions answered by some run.
+	inRange := make([]int32, 0, len(pending))
+	mustProbe := make([]bool, 0, len(pending))
+	probeKeys := make([]uint64, 0, len(pending))
+	probeOut := make([]bool, len(pending))
+	resolved := make([]bool, len(keys))
+	for level := 0; level < len(s.levels) && len(pending) > 0; level++ {
+		for _, r := range s.levels[level] { // newest first
+			if len(pending) == 0 {
+				break
+			}
+			if len(r.entries) == 0 {
+				continue
+			}
+			minK, maxK := r.minKey(), r.maxKey()
+			inRange = inRange[:0]
+			for _, i := range pending {
+				if k := keys[i]; k >= minK && k <= maxK {
+					inRange = append(inRange, i)
+				}
+			}
+			if len(inRange) == 0 {
+				continue
+			}
+			// Filter pass: judge each key's probe (fault injection is
+			// per probe, as in the scalar path), then answer all usable
+			// probes with one batched filter call. mustProbe[j] records
+			// that inRange[j] needs the data I/O regardless.
+			mustProbe = mustProbe[:len(inRange)]
+			if r.filter != nil {
+				probeKeys = probeKeys[:0]
+				for j, i := range inRange {
+					s.FilterProbes++
+					usable := true
+					if s.opts.FilterFaults != nil {
+						if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
+							s.FilterFallbacks++
+							usable = false
+						}
+					}
+					mustProbe[j] = !usable
+					if usable {
+						probeKeys = append(probeKeys, keys[i])
+					}
+				}
+				core.ContainsBatch(r.filter, probeKeys, probeOut[:len(probeKeys)])
+				p := 0
+				for j := range inRange {
+					if !mustProbe[j] {
+						mustProbe[j] = probeOut[p]
+						p++
+					}
+				}
+			} else {
+				for j := range mustProbe {
+					mustProbe[j] = true
+				}
+			}
+			// Data pass: pay one read per surviving key, resolve hits.
+			resolvedAny := false
+			for j, i := range inRange {
+				if !mustProbe[j] {
+					continue
+				}
+				s.devRead(1)
+				if e, ok := r.find(keys[i]); ok {
+					values[i], found[i] = e.Value, !e.Tombstone
+					resolved[i] = true
+					resolvedAny = true
+				}
+			}
+			if resolvedAny {
+				next := pending[:0]
+				for _, i := range pending {
+					if !resolved[i] {
+						next = append(next, i)
+					}
+				}
+				pending = next
+			}
+		}
+	}
+}
+
 // mapletGet probes only the runs the global maplet points to. When the
 // maplet block itself cannot be read, the lookup degrades to probing
 // every overlapping run (the PolicyNone cost) rather than failing.

@@ -1,0 +1,57 @@
+package metrics
+
+import "testing"
+
+// batchedParity is an exact "filter" with a native batched probe.
+type batchedParity struct{ batchCalls int }
+
+func (p *batchedParity) Contains(key uint64) bool { return key%2 == 0 }
+
+func (p *batchedParity) ContainsBatch(keys []uint64, out []bool) {
+	p.batchCalls++
+	for i, k := range keys {
+		out[i] = k%2 == 0
+	}
+}
+
+type scalarParity struct{}
+
+func (scalarParity) Contains(key uint64) bool { return key%2 == 0 }
+
+func TestFPRUsesBatchPath(t *testing.T) {
+	keys := make([]uint64, 1500) // spans multiple probe chunks
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f := &batchedParity{}
+	if got := FPR(f, keys); got != 0.5 {
+		t.Fatalf("FPR = %v, want 0.5", got)
+	}
+	if f.batchCalls == 0 {
+		t.Fatal("batched path not taken")
+	}
+	if got := FPR(scalarParity{}, keys); got != 0.5 {
+		t.Fatalf("scalar FPR = %v, want 0.5", got)
+	}
+	if fn := FalseNegatives(f, keys); fn != 750 {
+		t.Fatalf("FalseNegatives = %d, want 750", fn)
+	}
+}
+
+// The harness probes millions of negatives per experiment; its cost per
+// call must stay flat (the fixed out-buffer may escape through the
+// interface call, but nothing may scale with len(keys)).
+func TestFPRConstantAllocs(t *testing.T) {
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	f := &batchedParity{}
+	avg := testing.AllocsPerRun(50, func() { FPR(f, keys) })
+	if avg > 1 {
+		t.Fatalf("FPR allocates %v per call, want <= 1 (independent of batch size)", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { FPR(scalarParity{}, keys) }); avg != 0 {
+		t.Fatalf("scalar FPR allocates %v per call, want 0", avg)
+	}
+}

@@ -16,32 +16,62 @@ type Prober interface {
 	Contains(key uint64) bool
 }
 
+// BatchProber is a Prober with a native batched probe. It mirrors
+// core.BatchFilter structurally (without the SizeBits requirement), so
+// every batched filter satisfies it and the harness uses the fast path
+// automatically.
+type BatchProber interface {
+	Prober
+	ContainsBatch(keys []uint64, out []bool)
+}
+
+// probeChunk is the staging size of the harness's batched probes; the
+// out-buffer is a single fixed array reused across chunks.
+const probeChunk = 512
+
+// countPositives probes every key and counts positive answers, taking
+// the batched path when the filter has one. Apart from one fixed-size
+// out-buffer it does no per-key allocation.
+func countPositives(f Prober, keys []uint64) int {
+	hits := 0
+	if bf, ok := f.(BatchProber); ok {
+		var out [probeChunk]bool
+		for start := 0; start < len(keys); start += probeChunk {
+			chunk := keys[start:]
+			if len(chunk) > probeChunk {
+				chunk = chunk[:probeChunk]
+			}
+			bf.ContainsBatch(chunk, out[:len(chunk)])
+			for _, hit := range out[:len(chunk)] {
+				if hit {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	for _, k := range keys {
+		if f.Contains(k) {
+			hits++
+		}
+	}
+	return hits
+}
+
 // FPR probes the filter with keys known to be absent and returns the
 // fraction that came back positive.
 func FPR(f Prober, negatives []uint64) float64 {
 	if len(negatives) == 0 {
 		return 0
 	}
-	fp := 0
-	for _, k := range negatives {
-		if f.Contains(k) {
-			fp++
-		}
-	}
-	return float64(fp) / float64(len(negatives))
+	return float64(countPositives(f, negatives)) / float64(len(negatives))
 }
 
 // FalseNegatives probes the filter with keys known to be present and
 // returns how many were (incorrectly) reported absent. For a correct
 // filter this must be zero.
 func FalseNegatives(f Prober, positives []uint64) int {
-	fn := 0
-	for _, k := range positives {
-		if !f.Contains(k) {
-			fn++
-		}
-	}
-	return fn
+	return len(positives) - countPositives(f, positives)
 }
 
 // RangeProber abstracts a range filter's probe.

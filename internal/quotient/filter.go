@@ -129,6 +129,12 @@ func (f *Filter) Contains(key uint64) bool {
 		return true
 	}
 	fq, fr := f.fingerprint(key)
+	return f.containsFP(fq, fr)
+}
+
+// containsFP finishes a lookup whose fingerprint is already split into
+// quotient and remainder.
+func (f *Filter) containsFP(fq, fr uint64) bool {
 	start, length, ok := f.t.findRun(fq)
 	if !ok {
 		return false
@@ -145,6 +151,34 @@ func (f *Filter) Contains(key uint64) bool {
 		pos = (pos + 1) & f.t.mask
 	}
 	return false
+}
+
+// ContainsBatch probes every key (see core.BatchFilter). Fingerprints
+// for a whole chunk are computed before any table access; the run scans
+// then execute back to back, overlapping their metadata and payload
+// reads across keys.
+func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	if f.saturated {
+		for i := range keys {
+			out[i] = true
+		}
+		return
+	}
+	var fqs, frs [core.BatchChunk]uint64
+	for start := 0; start < len(keys); start += core.BatchChunk {
+		chunk := keys[start:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[start : start+len(chunk)]
+		for i, k := range chunk {
+			fqs[i], frs[i] = f.fingerprint(k)
+		}
+		for i := range chunk {
+			co[i] = f.containsFP(fqs[i], frs[i])
+		}
+	}
 }
 
 // Delete removes key's fingerprint. Deleting a key that was never
@@ -280,4 +314,7 @@ func (f *Filter) CheckInvariants() error {
 	return f.t.checkInvariants()
 }
 
-var _ core.DeletableFilter = (*Filter)(nil)
+var (
+	_ core.DeletableFilter = (*Filter)(nil)
+	_ core.BatchFilter     = (*Filter)(nil)
+)

@@ -142,10 +142,37 @@ func (f *Filter) Contains(key uint64) bool {
 	return f.slots.Get(int(h[0]))^f.slots.Get(int(h[1]))^f.slots.Get(int(h[2])) == fp
 }
 
+// ContainsBatch probes every key (see core.BatchFilter). All three slot
+// indices and the fingerprint are precomputed per chunk, so each key's
+// three probes — one per segment, usually three distinct cache lines —
+// issue together and overlap across keys instead of waiting on the hash
+// of the next key.
+func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	var h0s, h1s, h2s, fps [core.BatchChunk]uint64
+	for start := 0; start < len(keys); start += core.BatchChunk {
+		chunk := keys[start:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[start : start+len(chunk)]
+		for i, k := range chunk {
+			h, fp := f.hashes(k)
+			h0s[i], h1s[i], h2s[i], fps[i] = h[0], h[1], h[2], fp
+		}
+		for i := range chunk {
+			co[i] = f.slots.Get(int(h0s[i]))^f.slots.Get(int(h1s[i]))^f.slots.Get(int(h2s[i])) == fps[i]
+		}
+	}
+}
+
 // Len returns the number of keys the filter was built over.
 func (f *Filter) Len() int { return f.n }
 
 // SizeBits returns the footprint in bits.
 func (f *Filter) SizeBits() int { return f.slots.SizeBits() }
 
-var _ core.Filter = (*Filter)(nil)
+var (
+	_ core.Filter      = (*Filter)(nil)
+	_ core.BatchFilter = (*Filter)(nil)
+)

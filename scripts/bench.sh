@@ -1,0 +1,17 @@
+#!/bin/sh
+# Run the batched-vs-scalar filter benchmarks and record the results in
+# BENCH_batch.json (see batch_bench_test.go for what is measured).
+# Setup builds multi-MB filters, so a full run takes a few minutes.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_batch.json
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench Filter*Contains{Scalar,Batch} =="
+go test -run '^$' -bench 'Filter.*Contains(Scalar|Batch)' \
+	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
+
+python3 scripts/bench_to_json.py <"$RAW" >"$OUT"
+echo "wrote $OUT"

@@ -16,4 +16,7 @@ go test -race ./...
 echo "== experiment smoke (exp all -scale 0.05) =="
 go run ./cmd/beyondbloom exp all -scale 0.05 >/dev/null
 
+echo "== benchmark smoke (1 iteration, -short) =="
+go test -short -run '^$' -bench Filter -benchtime 1x -benchmem . >/dev/null
+
 echo "OK"
