@@ -1,0 +1,83 @@
+package bitvec
+
+import (
+	"io"
+
+	"beyondbloom/internal/codec"
+)
+
+// WriteTo serializes the vector as one codec frame (bit count followed
+// by the length-prefixed backing words). It implements io.WriterTo.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	e.U64(uint64(v.n))
+	e.U64s(v.words)
+	return codec.WriteFrame(w, codec.KindVector, e.Bytes())
+}
+
+// ReadFrom replaces the vector's contents with a frame written by
+// WriteTo, validating the checksum and the bit-count/word-count
+// consistency. It implements io.ReaderFrom; on error the receiver is
+// left unchanged.
+func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, codec.KindVector)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	n := d.U64()
+	words := d.U64s()
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	if n > uint64(len(words))*64 || (n+63)/64 != uint64(len(words)) {
+		return 0, d.Corruptf("bitvec: %d bits disagrees with %d words", n, len(words))
+	}
+	v.words = words
+	v.n = int(n)
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
+// WriteTo serializes the packed array as one codec frame (element
+// count, element width, then the payload words — the Window64 padding
+// word is not stored). It implements io.WriterTo.
+func (p *Packed) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	e.U64(uint64(p.n))
+	e.U8(uint8(p.w))
+	e.U64s(p.words[:p.payloadWords])
+	return codec.WriteFrame(w, codec.KindPacked, e.Bytes())
+}
+
+// ReadFrom replaces the packed array's contents with a frame written by
+// WriteTo, validating width and geometry; the Window64 padding word is
+// reallocated zero. It implements io.ReaderFrom; on error the receiver
+// is left unchanged.
+func (p *Packed) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, codec.KindPacked)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	n := d.U64()
+	w := uint(d.U8())
+	words := d.U64s()
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	if w == 0 || w > 64 {
+		return 0, d.Corruptf("bitvec: packed element width %d out of range", w)
+	}
+	// n*w must not overflow and must match the stored word count.
+	if n > uint64(codec.MaxPayload)*8/uint64(w) {
+		return 0, d.Corruptf("bitvec: packed element count %d too large", n)
+	}
+	if (n*uint64(w)+63)/64 != uint64(len(words)) {
+		return 0, d.Corruptf("bitvec: %d %d-bit elements disagrees with %d words", n, w, len(words))
+	}
+	p.words = append(words, 0) // restore the Window64 padding word
+	p.n = int(n)
+	p.w = w
+	p.payloadWords = len(words)
+	return int64(codec.HeaderSize + len(payload)), nil
+}

@@ -1,0 +1,114 @@
+package bitvec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"beyondbloom/internal/codec"
+)
+
+func TestVectorRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		v := New(n)
+		for i := 0; i < n; i += 3 {
+			v.Set(i)
+		}
+		var buf bytes.Buffer
+		wn, err := v.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wn != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d, wrote %d", wn, buf.Len())
+		}
+		var got Vector
+		rn, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn != wn {
+			t.Fatalf("ReadFrom consumed %d, want %d", rn, wn)
+		}
+		if got.Len() != n {
+			t.Fatalf("Len = %d, want %d", got.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if got.Bit(i) != v.Bit(i) {
+				t.Fatalf("n=%d bit %d differs", n, i)
+			}
+		}
+		// Bit-identical re-encoding.
+		var buf2 bytes.Buffer
+		got.WriteTo(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("n=%d re-encoding differs", n)
+		}
+	}
+}
+
+func TestVectorReadFromRejectsCorruption(t *testing.T) {
+	v := New(100)
+	v.Set(5)
+	var buf bytes.Buffer
+	v.WriteTo(&buf)
+	good := buf.Bytes()
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x10
+		var got Vector
+		if _, err := got.ReadFrom(bytes.NewReader(bad)); !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestPackedPersistRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		w uint
+	}{{0, 7}, {1, 1}, {10, 13}, {100, 64}, {257, 5}} {
+		p := NewPacked(tc.n, tc.w)
+		for i := 0; i < tc.n; i++ {
+			p.Set(i, uint64(i)*0x9E3779B97F4A7C15)
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var got Packed
+		if _, err := got.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != tc.n || got.Width() != tc.w {
+			t.Fatalf("geometry %d×%d, want %d×%d", got.Len(), got.Width(), tc.n, tc.w)
+		}
+		for i := 0; i < tc.n; i++ {
+			if got.Get(i) != p.Get(i) {
+				t.Fatalf("n=%d w=%d element %d differs", tc.n, tc.w, i)
+			}
+		}
+		// Window64 still works (padding word restored).
+		if tc.n > 0 {
+			_ = got.Window64(tc.n - 1)
+		}
+		var buf2 bytes.Buffer
+		got.WriteTo(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("n=%d w=%d re-encoding differs", tc.n, tc.w)
+		}
+	}
+}
+
+func TestPackedReadFromRejectsBadWidth(t *testing.T) {
+	var e codec.Enc
+	e.U64(4)
+	e.U8(0) // invalid width
+	e.U64s([]uint64{0})
+	var buf bytes.Buffer
+	codec.WriteFrame(&buf, codec.KindPacked, e.Bytes())
+	var got Packed
+	if _, err := got.ReadFrom(bytes.NewReader(buf.Bytes())); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("width 0: err = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package bloom
 
 import (
+	"fmt"
 	"math"
 
 	"beyondbloom/internal/core"
@@ -26,10 +27,10 @@ const blockedMaxK = 8
 // locally (≈0.5-1 extra bit/key to match a classic filter's ε; see
 // DESIGN.md).
 type Blocked struct {
+	spec      core.Spec // construction parameters (capacity, bits/key, seed)
 	words     []uint64
 	numBlocks uint64
 	k         uint
-	seed      uint64
 	n         int
 }
 
@@ -42,25 +43,44 @@ func NewBlocked(n int, bitsPerKey float64) *Blocked {
 // NewBlockedSeeded is NewBlocked with an explicit hash seed (see
 // NewBitsSeeded for when layered structures need distinct seeds).
 func NewBlockedSeeded(n int, bitsPerKey float64, seed uint64) *Blocked {
-	if n < 1 {
-		n = 1
+	f, err := BlockedFromSpec(core.Spec{Type: core.TypeBlockedBloom, N: n, BitsPerKey: bitsPerKey, Seed: seed})
+	if err != nil {
+		panic(err) // unreachable for the budgets the constructors pass
 	}
-	totalBits := math.Ceil(float64(n) * bitsPerKey)
+	return f
+}
+
+// BlockedFromSpec builds an empty blocked Bloom filter from its
+// construction parameters (see bloom.FromSpec).
+func BlockedFromSpec(s core.Spec) (*Blocked, error) {
+	if s.Type != core.TypeBlockedBloom {
+		return nil, fmt.Errorf("bloom: spec type %d is not TypeBlockedBloom", s.Type)
+	}
+	if s.N < 1 {
+		s.N = 1
+	}
+	if !(s.BitsPerKey > 0) || s.BitsPerKey > 1024 {
+		return nil, fmt.Errorf("bloom: bits per key %v out of range", s.BitsPerKey)
+	}
+	totalBits := math.Ceil(float64(s.N) * s.BitsPerKey)
 	numBlocks := uint64(math.Ceil(totalBits / (blockWords * 64)))
 	if numBlocks < 1 {
 		numBlocks = 1
 	}
-	k := uint(core.BloomOptimalK(bitsPerKey))
+	k := uint(core.BloomOptimalK(s.BitsPerKey))
 	if k > blockedMaxK {
 		k = blockedMaxK
 	}
 	return &Blocked{
+		spec:      s,
 		words:     make([]uint64, numBlocks*blockWords),
 		numBlocks: numBlocks,
 		k:         k,
-		seed:      seed,
-	}
+	}, nil
 }
+
+// Spec returns the filter's construction parameters.
+func (f *Blocked) Spec() core.Spec { return f.spec }
 
 // K returns the number of probe bits per key.
 func (f *Blocked) K() uint { return f.k }
@@ -69,7 +89,7 @@ func (f *Blocked) K() uint { return f.k }
 // the probe positions are cut from: probe i takes 9 bits (a position in
 // [0,512)) from g1 for i < 7 and from g2 beyond.
 func (f *Blocked) hashState(key uint64) (base uint64, g1, g2 uint64) {
-	h := hashutil.MixSeed(key, f.seed)
+	h := hashutil.MixSeed(key, f.spec.Seed)
 	base = hashutil.Reduce(h, f.numBlocks) * blockWords
 	g1 = hashutil.Mix64(h + 1)
 	g2 = hashutil.Mix64(h + 2)

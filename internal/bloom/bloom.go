@@ -8,6 +8,7 @@
 package bloom
 
 import (
+	"fmt"
 	"math"
 
 	"beyondbloom/internal/bitvec"
@@ -19,11 +20,11 @@ import (
 // insertions are supported, deletions are not, and the target capacity
 // must be known at construction for the FPR guarantee to hold.
 type Filter struct {
+	spec core.Spec // construction parameters (capacity, bits/key, seed)
 	bits *bitvec.Vector
 	m    uint64 // number of bits
 	k    uint   // hash functions
-	seed uint64
-	n    int // inserted keys (informational)
+	n    int    // inserted keys (informational)
 }
 
 // New returns a Bloom filter sized for n keys at the target false
@@ -44,20 +45,41 @@ func NewBits(n int, bitsPerKey float64) *Filter {
 // inter-layer hash correlations inflate the compound false-positive
 // rate.
 func NewBitsSeeded(n int, bitsPerKey float64, seed uint64) *Filter {
-	if n < 1 {
-		n = 1
+	f, err := FromSpec(core.Spec{Type: core.TypeBloom, N: n, BitsPerKey: bitsPerKey, Seed: seed})
+	if err != nil {
+		panic(err) // unreachable for the budgets the constructors pass
 	}
-	m := uint64(math.Ceil(float64(n) * bitsPerKey))
+	return f
+}
+
+// FromSpec builds an empty Bloom filter from its construction
+// parameters — the one code path every constructor, the registry, and
+// the decoder share. N is clamped to at least 1 (matching the historic
+// constructors); a non-positive bits-per-key budget is an error.
+func FromSpec(s core.Spec) (*Filter, error) {
+	if s.Type != core.TypeBloom {
+		return nil, fmt.Errorf("bloom: spec type %d is not TypeBloom", s.Type)
+	}
+	if s.N < 1 {
+		s.N = 1
+	}
+	if !(s.BitsPerKey > 0) || s.BitsPerKey > 1024 {
+		return nil, fmt.Errorf("bloom: bits per key %v out of range", s.BitsPerKey)
+	}
+	m := uint64(math.Ceil(float64(s.N) * s.BitsPerKey))
 	if m < 64 {
 		m = 64
 	}
 	return &Filter{
+		spec: s,
 		bits: bitvec.New(int(m)),
 		m:    m,
-		k:    uint(core.BloomOptimalK(bitsPerKey)),
-		seed: seed,
-	}
+		k:    uint(core.BloomOptimalK(s.BitsPerKey)),
+	}, nil
 }
+
+// Spec returns the filter's construction parameters.
+func (f *Filter) Spec() core.Spec { return f.spec }
 
 // K returns the number of hash functions in use.
 func (f *Filter) K() uint { return f.k }
@@ -65,7 +87,7 @@ func (f *Filter) K() uint { return f.k }
 // Insert adds key to the filter. It never fails, but inserting beyond the
 // sized capacity degrades the false-positive rate.
 func (f *Filter) Insert(key uint64) error {
-	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, f.seed))
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, f.spec.Seed))
 	for i := uint(0); i < f.k; i++ {
 		f.bits.Set(int(hashutil.Reduce(hashutil.KHash(h1, h2, i), f.m)))
 	}
@@ -75,7 +97,7 @@ func (f *Filter) Insert(key uint64) error {
 
 // Contains reports whether key may have been inserted.
 func (f *Filter) Contains(key uint64) bool {
-	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, f.seed))
+	h1, h2 := hashutil.SplitHash(hashutil.MixSeed(key, f.spec.Seed))
 	for i := uint(0); i < f.k; i++ {
 		if !f.bits.Bit(int(hashutil.Reduce(hashutil.KHash(h1, h2, i), f.m))) {
 			return false
@@ -107,7 +129,7 @@ func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 		}
 		co := out[base : base+len(chunk)]
 		for i, k := range chunk {
-			h1s[i], h2s[i] = hashutil.SplitHash(hashutil.MixSeed(k, f.seed))
+			h1s[i], h2s[i] = hashutil.SplitHash(hashutil.MixSeed(k, f.spec.Seed))
 			co[i] = false
 			live[i] = uint16(i)
 		}

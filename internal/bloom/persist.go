@@ -1,0 +1,125 @@
+package bloom
+
+import (
+	"io"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+)
+
+func init() {
+	core.Register(core.TypeBloom, "bloom",
+		func() core.Persistent { return &Filter{} },
+		func(s core.Spec) (core.Persistent, error) { return FromSpec(s) })
+	core.Register(core.TypeBlockedBloom, "bloom.Blocked",
+		func() core.Persistent { return &Blocked{} },
+		func(s core.Spec) (core.Persistent, error) { return BlockedFromSpec(s) })
+}
+
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (f *Filter) TypeID() uint16 { return core.TypeBloom }
+
+// WriteTo serializes the filter as one codec frame: the construction
+// Spec, the derived geometry, and the nested bit-vector frame.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	f.spec.Encode(&e)
+	e.U64(f.m)
+	e.U32(uint32(f.k))
+	e.U64(uint64(f.n))
+	if _, err := f.bits.WriteTo(&e); err != nil {
+		return 0, err
+	}
+	return codec.WriteFrame(w, core.TypeBloom, e.Bytes())
+}
+
+// ReadFrom restores a filter written by WriteTo into the receiver,
+// validating the checksum, the Spec, and the geometry/payload
+// consistency. On error the receiver is left unchanged.
+func (f *Filter) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeBloom)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	m := d.U64()
+	k := uint(d.U32())
+	n := d.U64()
+	var bits bitvec.Vector
+	if d.Err() == nil {
+		if _, err := bits.ReadFrom(d); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	nf, err := FromSpec(spec)
+	if err != nil {
+		return 0, d.Corruptf("%v", err)
+	}
+	if nf.m != m || nf.k != k || uint64(bits.Len()) != m {
+		return 0, d.Corruptf("bloom: geometry m=%d k=%d bits=%d disagrees with spec (m=%d k=%d)",
+			m, k, bits.Len(), nf.m, nf.k)
+	}
+	f.spec = spec
+	f.bits = &bits
+	f.m = m
+	f.k = k
+	f.n = int(n)
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (f *Blocked) TypeID() uint16 { return core.TypeBlockedBloom }
+
+// WriteTo serializes the filter as one codec frame: the construction
+// Spec, the derived geometry, and the raw block words.
+func (f *Blocked) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	f.spec.Encode(&e)
+	e.U64(f.numBlocks)
+	e.U32(uint32(f.k))
+	e.U64(uint64(f.n))
+	e.U64s(f.words)
+	return codec.WriteFrame(w, core.TypeBlockedBloom, e.Bytes())
+}
+
+// ReadFrom restores a filter written by WriteTo into the receiver (see
+// Filter.ReadFrom for the validation contract).
+func (f *Blocked) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeBlockedBloom)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	numBlocks := d.U64()
+	k := uint(d.U32())
+	n := d.U64()
+	words := d.U64s()
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	nf, err := BlockedFromSpec(spec)
+	if err != nil {
+		return 0, d.Corruptf("%v", err)
+	}
+	if nf.numBlocks != numBlocks || nf.k != k || uint64(len(words)) != numBlocks*blockWords {
+		return 0, d.Corruptf("bloom: blocked geometry blocks=%d k=%d words=%d disagrees with spec",
+			numBlocks, k, len(words))
+	}
+	f.spec = spec
+	f.words = words
+	f.numBlocks = numBlocks
+	f.k = k
+	f.n = int(n)
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
+var (
+	_ core.Persistent = (*Filter)(nil)
+	_ core.Persistent = (*Blocked)(nil)
+)

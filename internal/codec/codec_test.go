@@ -1,0 +1,174 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var e Enc
+	e.U8(7)
+	e.Bool(true)
+	e.U16(0xBEEF)
+	e.U32(0xDEADBEEF)
+	e.U64(0x0102030405060708)
+	e.F64(3.14159)
+	e.U64s([]uint64{1, 2, 3, ^uint64(0)})
+
+	var buf bytes.Buffer
+	n, err := WriteFrame(&buf, 42, e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(HeaderSize+e.Len()) {
+		t.Fatalf("WriteFrame reported %d bytes, want %d", n, HeaderSize+e.Len())
+	}
+
+	payload, err := ReadFrame(bytes.NewReader(buf.Bytes()), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDec(payload)
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if !d.Bool() {
+		t.Error("Bool = false")
+	}
+	if got := d.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := d.U64(); got != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := d.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	ws := d.U64s()
+	if len(ws) != 4 || ws[3] != ^uint64(0) {
+		t.Errorf("U64s = %v", ws)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	var e Enc
+	e.U64s([]uint64{10, 20, 30})
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, 9, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Every single-byte flip must be detected.
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		if _, err := ReadFrame(bytes.NewReader(bad), 9); err == nil {
+			t.Fatalf("flip at byte %d decoded successfully", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: error %v does not wrap ErrCorrupt", i, err)
+		}
+	}
+	// Truncation at every length must be detected.
+	for n := 0; n < len(good); n++ {
+		if _, err := ReadFrame(bytes.NewReader(good[:n]), 9); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: %v", n, err)
+		}
+	}
+	// Wrong expected kind.
+	if _, err := ReadFrame(bytes.NewReader(good), 10); !errors.Is(err, ErrKind) {
+		t.Fatalf("wrong kind: %v", err)
+	}
+}
+
+func TestReadFrameHugeLengthDoesNotAllocate(t *testing.T) {
+	var hdr [HeaderSize]byte
+	putU32(hdr[0:], Magic)
+	putU16(hdr[4:], Version)
+	putU16(hdr[6:], 1)
+	putU64(hdr[8:], MaxPayload) // in-bounds length, but no data follows
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying length: %v", err)
+	}
+	putU64(hdr[8:], 1<<62) // out-of-bounds length
+	if _, err := ReadFrame(bytes.NewReader(hdr[:]), 1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("giant length: %v", err)
+	}
+}
+
+func TestDecFinishTrailing(t *testing.T) {
+	d := NewDec([]byte{1, 2, 3})
+	d.U8()
+	if err := d.Finish(); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+func TestDecU64sCorruptCount(t *testing.T) {
+	var e Enc
+	e.U64(1 << 40) // claims 2^40 words with no data behind it
+	d := NewDec(e.Bytes())
+	if vs := d.U64s(); vs != nil {
+		t.Fatalf("U64s returned %v for corrupt count", vs)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v", d.Err())
+	}
+}
+
+func TestPeekKind(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, 77, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	kind, hdr, err := PeekKind(r)
+	if err != nil || kind != 77 {
+		t.Fatalf("PeekKind = %d, %v", kind, err)
+	}
+	// Replaying the header restores a readable stream.
+	payload, err := ReadFrame(io.MultiReader(bytes.NewReader(hdr[:]), r), 77)
+	if err != nil || len(payload) != 3 {
+		t.Fatalf("replayed read: %v", err)
+	}
+}
+
+// FuzzFrameRoundTrip feeds arbitrary bytes to ReadFrame: it must either
+// decode a frame whose re-encoding reproduces the consumed bytes, or
+// return an error — never panic.
+func FuzzFrameRoundTrip(f *testing.F) {
+	var e Enc
+	e.U64s([]uint64{1, 2, 3})
+	var buf bytes.Buffer
+	WriteFrame(&buf, 5, e.Bytes())
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		kind, hdr, err := PeekKind(r)
+		if err != nil {
+			return
+		}
+		payload, err := ReadFrame(io.MultiReader(bytes.NewReader(hdr[:]), bytes.NewReader(data[HeaderSize:])), kind)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := WriteFrame(&out, kind, payload); err != nil {
+			t.Fatal(err)
+		}
+		consumed := HeaderSize + len(payload)
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encode differs from consumed input")
+		}
+	})
+}

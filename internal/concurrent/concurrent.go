@@ -28,9 +28,9 @@ var errNilBuild = errors.New("concurrent: nil build function")
 // The shard is chosen by high bits of the key's hash, so each sub-filter
 // sees a uniform slice of the key space and capacity splits evenly.
 type Sharded struct {
+	spec    core.Spec // construction parameters (log2 shards, routing seed)
 	shards  []shard
 	mask    uint64
-	seed    uint64
 	scratch sync.Pool // *batchScratch, reused across ContainsBatch calls
 }
 
@@ -52,7 +52,11 @@ func NewSharded(logShards uint, build func(shardIndex int) core.DeletableFilter)
 		return nil, errNilBuild
 	}
 	n := 1 << logShards
-	s := &Sharded{shards: make([]shard, n), mask: uint64(n - 1), seed: 0x5A4DED}
+	s := &Sharded{
+		spec:   core.Spec{Type: core.TypeSharded, LogShards: uint8(logShards), Seed: 0x5A4DED},
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+	}
 	for i := range s.shards {
 		if s.shards[i].f = build(i); s.shards[i].f == nil {
 			return nil, fmt.Errorf("concurrent: build returned nil filter for shard %d", i)
@@ -64,8 +68,11 @@ func NewSharded(logShards uint, build func(shardIndex int) core.DeletableFilter)
 // shardOf routes a key. The routing hash is independent of the filters'
 // internal hashing (different seed), so sharding does not bias them.
 func (s *Sharded) shardOf(key uint64) *shard {
-	return &s.shards[hashutil.MixSeed(key, s.seed)>>48&s.mask]
+	return &s.shards[hashutil.MixSeed(key, s.spec.Seed)>>48&s.mask]
 }
+
+// Spec returns the wrapper's construction parameters.
+func (s *Sharded) Spec() core.Spec { return s.spec }
 
 // Insert adds key to its shard.
 func (s *Sharded) Insert(key uint64) error {
@@ -166,7 +173,7 @@ func (s *Sharded) ContainsBatch(keys []uint64, out []bool) {
 		sc = &batchScratch{}
 	}
 	shards := len(s.shards)
-	groupByShard(sc, keys, s.seed, s.mask, shards)
+	groupByShard(sc, keys, s.spec.Seed, s.mask, shards)
 	for j := 0; j < shards; j++ {
 		lo, hi := sc.bounds[j], sc.bounds[j+1]
 		if lo == hi {

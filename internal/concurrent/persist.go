@@ -1,0 +1,133 @@
+package concurrent
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+)
+
+func init() {
+	// Sharded wrappers need a per-shard build function, so there is no
+	// Spec-only builder; loading reconstructs the shards from the stream.
+	core.Register(core.TypeSharded, "concurrent.Sharded",
+		func() core.Persistent { return &Sharded{} },
+		nil)
+}
+
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (s *Sharded) TypeID() uint16 { return core.TypeSharded }
+
+// WriteTo serializes the wrapper as a small header frame (the Spec)
+// followed by one sibling frame per shard — each shard filter's own
+// self-delimiting encoding. Shards are encoded concurrently, each under
+// its own read lock, and the buffers are written out in shard order.
+// Every shard filter must itself implement core.Persistent.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	s.spec.Encode(&e)
+	bufs := make([][]byte, len(s.shards))
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := &s.shards[i]
+			p, ok := sh.f.(core.Persistent)
+			if !ok {
+				errs[i] = fmt.Errorf("concurrent: shard %d filter %T is not persistent", i, sh.f)
+				return
+			}
+			var buf bytes.Buffer
+			sh.mu.RLock()
+			_, errs[i] = p.WriteTo(&buf)
+			sh.mu.RUnlock()
+			bufs[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	total, err := codec.WriteFrame(w, core.TypeSharded, e.Bytes())
+	if err != nil {
+		return total, err
+	}
+	for _, b := range bufs {
+		n, err := w.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom restores a wrapper written by WriteTo into the receiver. The
+// header frame fixes the shard count; the shard frames are then sliced
+// off the stream (each is length-prefixed) and decoded concurrently via
+// the registry. On error the receiver is left unchanged.
+func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeSharded)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	if spec.Type != core.TypeSharded || spec.LogShards > MaxLogShards {
+		return 0, d.Corruptf("concurrent: bad spec (type=%d logShards=%d)", spec.Type, spec.LogShards)
+	}
+	total := int64(codec.HeaderSize + len(payload))
+	n := 1 << spec.LogShards
+	raws := make([][]byte, n)
+	for i := range raws {
+		_, raw, err := codec.ReadRaw(r)
+		if err != nil {
+			return 0, fmt.Errorf("concurrent: shard %d: %w", i, err)
+		}
+		raws[i] = raw
+		total += int64(len(raw))
+	}
+	shards := make([]shard, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range raws {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := core.Load(bytes.NewReader(raws[i]))
+			if err != nil {
+				errs[i] = fmt.Errorf("concurrent: shard %d: %w", i, err)
+				return
+			}
+			df, ok := f.(core.DeletableFilter)
+			if !ok {
+				errs[i] = fmt.Errorf("%w: concurrent: shard %d decoded to non-deletable %T",
+					codec.ErrCorrupt, i, f)
+				return
+			}
+			shards[i].f = df
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	s.spec = spec
+	s.shards = shards
+	s.mask = uint64(n - 1)
+	return total, nil
+}
+
+var _ core.Persistent = (*Sharded)(nil)

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"beyondbloom/internal/codec"
+)
+
+// TypeID values identify filter types on the wire. They are allocated
+// here, in one table, so two packages can never claim the same id, and
+// they are append-only: an id, once released, is never reused or
+// renumbered (the golden-file tests pin them). Kinds 1–15 belong to the
+// codec substrate containers.
+const (
+	TypeBloom        uint16 = 16 // bloom.Filter
+	TypeBlockedBloom uint16 = 17 // bloom.Blocked
+	TypeCuckoo       uint16 = 18 // cuckoo.Filter
+	TypeQuotient     uint16 = 19 // quotient.Filter
+	TypeXor          uint16 = 20 // xorfilter.Filter
+	TypeSharded      uint16 = 21 // concurrent.Sharded
+
+	// Application-layer kinds (not filters; decoded by their owners).
+	TypeLSMManifest uint16 = 32 // lsm store manifest
+	TypeLSMRun      uint16 = 33 // lsm run data file
+)
+
+// Persistent is a filter that can serialize its complete state to a
+// stream and restore it bit-identically. WriteTo must emit exactly one
+// top-level codec frame whose kind equals TypeID() (nested sub-frames
+// live inside, or — for multi-part structures like sharded wrappers —
+// follow as sibling frames that ReadFrom knows to consume). ReadFrom
+// must work on the zero value of the implementing type and must
+// validate everything it reads: feeding it corrupt bytes returns an
+// error wrapping codec.ErrCorrupt, never a panic and never a filter
+// with silently wrong answers.
+type Persistent interface {
+	Filter
+	// TypeID returns the filter's stable wire-format type id.
+	TypeID() uint16
+	io.WriterTo
+	io.ReaderFrom
+}
+
+// Spec describes a filter's construction parameters in one flat,
+// serializable struct — the single source of truth that replaces
+// per-constructor option plumbing. Not every field applies to every
+// filter; unused fields are zero and each filter's FromSpec validates
+// the ones it needs.
+type Spec struct {
+	// Type is the filter's TypeID (which registry entry builds it).
+	Type uint16
+	// N is the design capacity in keys.
+	N int
+	// BitsPerKey is the space budget for Bloom-family filters.
+	BitsPerKey float64
+	// FPBits is the fingerprint width for cuckoo/xor filters.
+	FPBits uint8
+	// Q and R are the quotient filter geometry (log2 slots, remainder
+	// bits).
+	Q, R uint8
+	// Seed is the hash seed.
+	Seed uint64
+	// LogShards is the shard count exponent for sharded wrappers.
+	LogShards uint8
+}
+
+// Encode appends the spec's canonical encoding to e. The field set is
+// fixed for format version 1; adding a field means bumping the codec
+// version.
+func (s Spec) Encode(e *codec.Enc) {
+	e.U16(s.Type)
+	e.U64(uint64(s.N))
+	e.F64(s.BitsPerKey)
+	e.U8(s.FPBits)
+	e.U8(s.Q)
+	e.U8(s.R)
+	e.U64(s.Seed)
+	e.U8(s.LogShards)
+}
+
+// DecodeSpec consumes a spec from d (errors accumulate in d).
+func DecodeSpec(d *codec.Dec) Spec {
+	var s Spec
+	s.Type = d.U16()
+	s.N = int(d.U64())
+	s.BitsPerKey = d.F64()
+	s.FPBits = d.U8()
+	s.Q = d.U8()
+	s.R = d.U8()
+	s.Seed = d.U64()
+	s.LogShards = d.U8()
+	return s
+}
+
+// registryEntry is one registered filter type.
+type registryEntry struct {
+	name string
+	// empty returns a zero-value filter ready for ReadFrom.
+	empty func() Persistent
+	// build constructs a fresh filter from a Spec (nil for filter types
+	// whose construction needs more than parameters, e.g. static
+	// filters built from a key set).
+	build func(Spec) (Persistent, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[uint16]registryEntry{}
+)
+
+// Register adds a filter type to the persistence registry. It is called
+// from the filter packages' init functions; registering the same id
+// twice panics (it means two packages claimed one TypeID). build may be
+// nil for types that cannot be constructed from a Spec alone.
+func Register(id uint16, name string, empty func() Persistent, build func(Spec) (Persistent, error)) {
+	if empty == nil {
+		panic(fmt.Sprintf("core: Register(%d, %q) with nil empty factory", id, name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if prev, dup := registry[id]; dup {
+		panic(fmt.Sprintf("core: TypeID %d registered twice (%q and %q)", id, prev.name, name))
+	}
+	registry[id] = registryEntry{name: name, empty: empty, build: build}
+}
+
+// TypeName returns the registered name for a TypeID ("" if unknown).
+func TypeName(id uint16) string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return registry[id].name
+}
+
+// RegisteredTypes returns the registered TypeIDs in ascending order.
+func RegisteredTypes() []uint16 {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	ids := make([]uint16, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func lookup(id uint16) (registryEntry, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	ent, ok := registry[id]
+	if !ok {
+		return registryEntry{}, fmt.Errorf("%w: unregistered filter TypeID %d (is the filter's package imported?)", codec.ErrCorrupt, id)
+	}
+	return ent, nil
+}
+
+// Save writes f's complete state to w. It is WriteTo with the envelope
+// contract spelled out: the stream starts with a frame whose kind is
+// f.TypeID(), which is what Load dispatches on.
+func Save(w io.Writer, f Persistent) (int64, error) {
+	return f.WriteTo(w)
+}
+
+// Load reads one filter from r: it peeks the leading frame header,
+// looks the TypeID up in the registry, and hands the stream (header
+// replayed) to a zero value of the registered type. The reader is left
+// positioned immediately after the filter's encoding, so several
+// filters can be loaded from one stream back to back.
+func Load(r io.Reader) (Persistent, error) {
+	kind, hdr, err := codec.PeekKind(r)
+	if err != nil {
+		return nil, err
+	}
+	ent, err := lookup(kind)
+	if err != nil {
+		return nil, err
+	}
+	f := ent.empty()
+	if _, err := f.ReadFrom(io.MultiReader(bytes.NewReader(hdr[:]), r)); err != nil {
+		return nil, fmt.Errorf("loading %s: %w", ent.name, err)
+	}
+	return f, nil
+}
+
+// Build constructs a fresh, empty filter from its Spec via the
+// registry. Filter types whose construction needs more than parameters
+// (static filters built from a key set) return an error.
+func Build(s Spec) (Persistent, error) {
+	ent, err := lookup(s.Type)
+	if err != nil {
+		return nil, err
+	}
+	if ent.build == nil {
+		return nil, fmt.Errorf("core: filter type %s (%d) cannot be built from a Spec alone", ent.name, s.Type)
+	}
+	return ent.build(s)
+}

@@ -8,6 +8,8 @@
 package cuckoo
 
 import (
+	"fmt"
+
 	"beyondbloom/internal/bitvec"
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/hashutil"
@@ -24,10 +26,10 @@ const (
 
 // Filter is a cuckoo filter over uint64 keys.
 type Filter struct {
+	spec       core.Spec      // construction parameters (capacity, fp bits, seed)
 	slots      *bitvec.Packed // buckets * BucketSize fingerprints; 0 = empty
 	numBuckets uint64
 	fpBits     uint
-	seed       uint64
 	n          int
 	rngState   uint64  // deterministic eviction-choice state
 	victim     stashFP // one-entry victim cache for failed kick walks
@@ -47,22 +49,42 @@ type stashFP struct {
 // New returns a cuckoo filter with capacity about n keys and fpBits-bit
 // fingerprints (false-positive rate ≈ 2·BucketSize·2^-fpBits ≈ 8·2^-f).
 func New(n int, fpBits uint) *Filter {
-	if fpBits < 2 || fpBits > 32 {
-		panic("cuckoo: fingerprint bits must be in [2,32]")
+	f, err := FromSpec(core.Spec{Type: core.TypeCuckoo, N: n, FPBits: uint8(fpBits), Seed: 0xC0C0C0C0})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FromSpec builds an empty cuckoo filter from its construction
+// parameters — the one code path the constructors, the registry, and
+// the decoder share.
+func FromSpec(s core.Spec) (*Filter, error) {
+	if s.Type != core.TypeCuckoo {
+		return nil, fmt.Errorf("cuckoo: spec type %d is not TypeCuckoo", s.Type)
+	}
+	if s.FPBits < 2 || s.FPBits > 32 {
+		return nil, fmt.Errorf("cuckoo: fingerprint bits %d must be in [2,32]", s.FPBits)
+	}
+	if s.N < 0 || s.N > 1<<40 {
+		return nil, fmt.Errorf("cuckoo: capacity %d out of range", s.N)
 	}
 	// Size to 95% max load: buckets = next pow2 of n / (0.95*4).
 	buckets := uint64(1)
-	for float64(buckets*BucketSize)*0.95 < float64(n) {
+	for float64(buckets*BucketSize)*0.95 < float64(s.N) {
 		buckets <<= 1
 	}
 	return &Filter{
-		slots:      bitvec.NewPacked(int(buckets*BucketSize), fpBits),
+		spec:       s,
+		slots:      bitvec.NewPacked(int(buckets*BucketSize), uint(s.FPBits)),
 		numBuckets: buckets,
-		fpBits:     fpBits,
-		seed:       0xC0C0C0C0,
+		fpBits:     uint(s.FPBits),
 		rngState:   0xDEADBEEF12345678,
-	}
+	}, nil
 }
+
+// Spec returns the filter's construction parameters.
+func (f *Filter) Spec() core.Spec { return f.spec }
 
 // NewForEpsilon sizes fingerprints for a target false-positive rate:
 // f = ceil(log2(2·BucketSize/ε)).
@@ -77,7 +99,7 @@ func NewForEpsilon(n int, epsilon float64) *Filter {
 }
 
 func (f *Filter) indexAndFP(key uint64) (i1 uint64, fp uint64) {
-	h := hashutil.MixSeed(key, f.seed)
+	h := hashutil.MixSeed(key, f.spec.Seed)
 	fp = hashutil.Fingerprint(h, f.fpBits)
 	i1 = (h >> 32) & (f.numBuckets - 1)
 	return

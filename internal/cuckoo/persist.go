@@ -1,0 +1,87 @@
+package cuckoo
+
+import (
+	"io"
+	"math/bits"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+)
+
+func init() {
+	core.Register(core.TypeCuckoo, "cuckoo",
+		func() core.Persistent { return &Filter{} },
+		func(s core.Spec) (core.Persistent, error) { return FromSpec(s) })
+}
+
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (f *Filter) TypeID() uint16 { return core.TypeCuckoo }
+
+// WriteTo serializes the filter as one codec frame: the construction
+// Spec, the derived geometry, the eviction-walk state (rng + victim
+// cache), and the nested fingerprint-table frame.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	f.spec.Encode(&e)
+	e.U64(f.numBuckets)
+	e.U64(uint64(f.n))
+	e.U64(f.rngState)
+	e.U64(f.victim.fp)
+	e.U64(f.victim.bucket)
+	e.Bool(f.victim.valid)
+	if _, err := f.slots.WriteTo(&e); err != nil {
+		return 0, err
+	}
+	return codec.WriteFrame(w, core.TypeCuckoo, e.Bytes())
+}
+
+// ReadFrom restores a filter written by WriteTo into the receiver,
+// validating the checksum, the Spec, and the geometry/payload
+// consistency. On error the receiver is left unchanged.
+func (f *Filter) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeCuckoo)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	numBuckets := d.U64()
+	n := d.U64()
+	rngState := d.U64()
+	victim := stashFP{fp: d.U64(), bucket: d.U64(), valid: d.Bool()}
+	var slots bitvec.Packed
+	if d.Err() == nil {
+		if _, err := slots.ReadFrom(d); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	nf, err := FromSpec(spec)
+	if err != nil {
+		return 0, d.Corruptf("%v", err)
+	}
+	if nf.numBuckets != numBuckets || bits.OnesCount64(numBuckets) != 1 {
+		return 0, d.Corruptf("cuckoo: bucket count %d disagrees with spec (want %d)", numBuckets, nf.numBuckets)
+	}
+	if uint64(slots.Len()) != numBuckets*BucketSize || slots.Width() != uint(spec.FPBits) {
+		return 0, d.Corruptf("cuckoo: table %d slots × %d bits disagrees with geometry (%d buckets × %d, fp %d bits)",
+			slots.Len(), slots.Width(), numBuckets, BucketSize, spec.FPBits)
+	}
+	fpMask := uint64(1)<<spec.FPBits - 1
+	if victim.valid && (victim.bucket >= numBuckets || victim.fp == 0 || victim.fp&^fpMask != 0) {
+		return 0, d.Corruptf("cuckoo: victim cache fp=%d bucket=%d out of range", victim.fp, victim.bucket)
+	}
+	f.spec = spec
+	f.slots = &slots
+	f.numBuckets = numBuckets
+	f.fpBits = uint(spec.FPBits)
+	f.n = int(n)
+	f.rngState = rngState
+	f.victim = victim
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
+var _ core.Persistent = (*Filter)(nil)

@@ -1,0 +1,70 @@
+package ef
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"beyondbloom/internal/codec"
+)
+
+func TestSequenceRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		vals     []uint64
+		universe uint64
+	}{
+		{"empty", nil, 1000},
+		{"single", []uint64{42}, 1000},
+		{"dense", []uint64{0, 1, 2, 3, 4, 5, 6, 7}, 8},
+		{"sparse", []uint64{5, 900, 1 << 40, 1 << 41}, 1 << 42},
+	} {
+		s := New(tc.vals, tc.universe)
+		var buf bytes.Buffer
+		wn, err := s.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var got Sequence
+		rn, err := got.ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rn != wn {
+			t.Fatalf("%s: consumed %d, wrote %d", tc.name, rn, wn)
+		}
+		if got.Len() != s.Len() || got.Universe() != s.Universe() {
+			t.Fatalf("%s: geometry differs", tc.name)
+		}
+		for i := range tc.vals {
+			if got.Get(i) != tc.vals[i] {
+				t.Fatalf("%s: Get(%d) = %d, want %d", tc.name, i, got.Get(i), tc.vals[i])
+			}
+		}
+		for _, probe := range []uint64{0, 1, 42, 899, 900, 901, 1 << 40} {
+			if got.Contains(probe) != s.Contains(probe) {
+				t.Fatalf("%s: Contains(%d) differs", tc.name, probe)
+			}
+		}
+		var buf2 bytes.Buffer
+		got.WriteTo(&buf2)
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: re-encoding differs", tc.name)
+		}
+	}
+}
+
+func TestSequenceReadFromRejectsCorruption(t *testing.T) {
+	s := New([]uint64{3, 14, 159, 2653}, 10000)
+	var buf bytes.Buffer
+	s.WriteTo(&buf)
+	good := buf.Bytes()
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x20
+		var got Sequence
+		if _, err := got.ReadFrom(bytes.NewReader(bad)); !errors.Is(err, codec.ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v", i, err)
+		}
+	}
+}

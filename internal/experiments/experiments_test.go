@@ -12,10 +12,10 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 22 { // E1-E16 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 22", len(exps))
+	if len(exps) != 23 { // E1-E17 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 23", len(exps))
 	}
-	for i, e := range exps[:16] {
+	for i, e := range exps[:17] {
 		if e.ID != "E"+itoa(i+1) {
 			t.Errorf("experiment %d has ID %s", i, e.ID)
 		}
@@ -105,6 +105,20 @@ func TestE16FaultExperiment(t *testing.T) {
 		}
 	}
 }
+
+// TestE17PersistExperiment checks the persistence experiment's shape:
+// all filter types appear in the throughput table and both comparison
+// tables report a reload/reopen row with a speedup column.
+func TestE17PersistExperiment(t *testing.T) {
+	out := runOne(t, "E17")
+	for _, name := range []string{"bloom", "blocked", "cuckoo", "quotient", "xor", "sharded",
+		"rebuild_from_keys", "reload_from_file", "rebuild_with_puts", "reopen_from_disk"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E17 missing row %s:\n%s", name, out)
+		}
+	}
+}
+
 func TestA1Runs(t *testing.T) { runOne(t, "A1") }
 func TestA2Runs(t *testing.T) { runOne(t, "A2") }
 func TestA3Runs(t *testing.T) { runOne(t, "A3") }

@@ -1,0 +1,407 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/quotient"
+)
+
+// ManifestName is the store's root metadata file inside a saved
+// directory. Each run stores its entries in run-<id>.bbr with its
+// filter (when the policy builds one) next to it in run-<id>.bbf, so a
+// run's data and its filter travel together the way an SSTable and its
+// filter block do.
+const ManifestName = "MANIFEST"
+
+func runDataName(id uint64) string   { return fmt.Sprintf("run-%d.bbr", id) }
+func runFilterName(id uint64) string { return fmt.Sprintf("run-%d.bbf", id) }
+
+// writeTo serializes one run's entries as a TypeLSMRun frame.
+func (r *run) writeTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	e.U64(r.id)
+	e.U32(uint32(r.level))
+	e.U64(uint64(len(r.entries)))
+	for _, en := range r.entries {
+		e.U64(en.Key)
+		e.U64(en.Value)
+		e.Bool(en.Tombstone)
+	}
+	return codec.WriteFrame(w, core.TypeLSMRun, e.Bytes())
+}
+
+// entryBytes is the encoded size of one Entry (key + value + tombstone).
+const entryBytes = 17
+
+// readRun decodes one TypeLSMRun frame, validating the sort invariant
+// every lookup's binary search depends on.
+func readRun(rd io.Reader) (*run, error) {
+	payload, err := codec.ReadFrame(rd, core.TypeLSMRun)
+	if err != nil {
+		return nil, err
+	}
+	d := codec.NewDec(payload)
+	id := d.U64()
+	level := d.U32()
+	n := d.U64()
+	if d.Err() == nil && n > uint64(d.Remaining())/entryBytes {
+		return nil, d.Corruptf("lsm: run %d claims %d entries in %d payload bytes", id, n, d.Remaining())
+	}
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Key: d.U64(), Value: d.U64(), Tombstone: d.Bool()}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Key >= entries[i].Key {
+			return nil, d.Corruptf("lsm: run %d entries not strictly sorted at index %d", id, i)
+		}
+	}
+	return &run{id: id, entries: entries, level: int(level)}, nil
+}
+
+// manifestRun is one run's manifest record: its position in the level
+// structure plus whether a filter file accompanies the data file.
+type manifestRun struct {
+	id        uint64
+	hasFilter bool
+}
+
+// Save persists the store's complete state into dir: the MANIFEST
+// (structural options, I/O counters, memtable, level structure, free
+// id pool, and — under PolicyMaplet — the global maplet), one .bbr
+// data file per run, and one .bbf filter file per filtered run. Run
+// files are encoded and written concurrently; they are independent
+// sibling frames. Function-valued options (range-filter builders,
+// fault injectors, retry policies) are not persisted — the caller
+// passes them again to OpenStore.
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var runs []*run
+	for _, level := range s.levels {
+		runs = append(runs, level...)
+	}
+	errs := make([]error, len(runs))
+	var wg sync.WaitGroup
+	for i, r := range runs {
+		wg.Add(1)
+		go func(i int, r *run) {
+			defer wg.Done()
+			errs[i] = saveRunFiles(dir, r)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var e codec.Enc
+	// Structural options: a reopened store must rebuild the exact same
+	// level arithmetic and filter policy.
+	e.U64(uint64(s.opts.MemtableSize))
+	e.U64(uint64(s.opts.SizeRatio))
+	e.U8(uint8(s.opts.Policy))
+	e.F64(s.opts.BitsPerKey)
+	e.F64(s.opts.MonkeyBaseFPR)
+	e.U8(uint8(s.opts.Compaction))
+	e.Bool(s.opts.RangeFilter != nil)
+	// Device and filter counters: a reopened store resumes accounting
+	// where the saved one stopped, so experiments comparing the two see
+	// identical I/O for identical workloads.
+	e.U64(uint64(s.dev.Reads))
+	e.U64(uint64(s.dev.Writes))
+	e.U64(uint64(s.dev.FailedReads))
+	e.U64(uint64(s.dev.FailedWrites))
+	e.U64(uint64(s.dev.SlowIOs))
+	e.U64(uint64(s.dev.ReplicaReads))
+	e.U64(uint64(s.dev.ReplicaWrites))
+	e.U64(uint64(s.FilterProbes))
+	e.U64(uint64(s.FilterFallbacks))
+	// Run id allocation state.
+	e.U64(s.nextID)
+	e.U64s(s.freeIDs)
+	// Memtable, sorted by key for a deterministic encoding.
+	memKeys := make([]uint64, 0, len(s.memtable))
+	for k := range s.memtable {
+		memKeys = append(memKeys, k)
+	}
+	sort.Slice(memKeys, func(i, j int) bool { return memKeys[i] < memKeys[j] })
+	e.U64(uint64(len(memKeys)))
+	for _, k := range memKeys {
+		en := s.memtable[k]
+		e.U64(en.Key)
+		e.U64(en.Value)
+		e.Bool(en.Tombstone)
+	}
+	// Level structure: run ids in order (newest first within a level).
+	e.U64(uint64(len(s.levels)))
+	for _, level := range s.levels {
+		e.U64(uint64(len(level)))
+		for _, r := range level {
+			e.U64(r.id)
+			e.Bool(r.filter != nil)
+		}
+	}
+	// Global maplet (PolicyMaplet): nested frame.
+	e.Bool(s.maplet != nil)
+	if s.maplet != nil {
+		if _, err := s.maplet.WriteTo(&e); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := codec.WriteFrame(&buf, core.TypeLSMManifest, e.Bytes()); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), buf.Bytes(), 0o644)
+}
+
+// saveRunFiles writes one run's data file and, when present, its
+// filter file.
+func saveRunFiles(dir string, r *run) error {
+	var buf bytes.Buffer
+	if _, err := r.writeTo(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, runDataName(r.id)), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if r.filter == nil {
+		return nil
+	}
+	p, ok := r.filter.(core.Persistent)
+	if !ok {
+		return fmt.Errorf("lsm: run %d filter %T is not persistent", r.id, r.filter)
+	}
+	buf.Reset()
+	if _, err := core.Save(&buf, p); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, runFilterName(r.id)), buf.Bytes(), 0o644)
+}
+
+// OpenStore reopens a store saved by Save. Structural options come
+// from the manifest; any structural field the caller sets in opts must
+// agree with it (a mismatched geometry would silently change level
+// arithmetic). Function-valued options — the range-filter builder,
+// fault injectors, the retry policy — are taken from opts, since
+// functions cannot be persisted; range filters are rebuilt per run
+// from the reloaded keys. Run files load concurrently. The reopened
+// store's query behavior and I/O counters are identical to the saved
+// store's: the same lookups cost the same reads.
+func OpenStore(dir string, opts Options) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := codec.ReadFrame(bytes.NewReader(raw), core.TypeLSMManifest)
+	if err != nil {
+		return nil, err
+	}
+	d := codec.NewDec(payload)
+	memtableSize := int(d.U64())
+	sizeRatio := int(d.U64())
+	policy := FilterPolicy(d.U8())
+	bitsPerKey := d.F64()
+	monkeyBaseFPR := d.F64()
+	compaction := CompactionPolicy(d.U8())
+	hadRangeFilter := d.Bool()
+	var counters [9]uint64
+	for i := range counters {
+		counters[i] = d.U64()
+	}
+	nextID := d.U64()
+	freeIDs := d.U64s()
+	memCount := d.U64()
+	if d.Err() == nil && memCount > uint64(d.Remaining())/entryBytes {
+		return nil, d.Corruptf("lsm: manifest claims %d memtable entries in %d bytes", memCount, d.Remaining())
+	}
+	memtable := make(map[uint64]Entry, memCount)
+	for i := uint64(0); i < memCount; i++ {
+		en := Entry{Key: d.U64(), Value: d.U64(), Tombstone: d.Bool()}
+		memtable[en.Key] = en
+	}
+	numLevels := d.U64()
+	if d.Err() == nil && numLevels > uint64(d.Remaining()) {
+		return nil, d.Corruptf("lsm: manifest claims %d levels in %d bytes", numLevels, d.Remaining())
+	}
+	levelRuns := make([][]manifestRun, numLevels)
+	totalRuns := 0
+	for li := range levelRuns {
+		n := d.U64()
+		if d.Err() == nil && n > uint64(d.Remaining())/9 {
+			return nil, d.Corruptf("lsm: manifest claims %d runs at level %d in %d bytes", n, li, d.Remaining())
+		}
+		levelRuns[li] = make([]manifestRun, n)
+		for ri := range levelRuns[li] {
+			levelRuns[li][ri] = manifestRun{id: d.U64(), hasFilter: d.Bool()}
+			totalRuns++
+		}
+	}
+	hasMaplet := d.Bool()
+	var maplet *quotient.Maplet
+	if d.Err() == nil && hasMaplet {
+		maplet = &quotient.Maplet{}
+		if _, err := maplet.ReadFrom(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+
+	// Structural validation: manifest values are authoritative; caller
+	// overrides that disagree are configuration bugs, not corruption.
+	if err := checkStructural(&opts, memtableSize, sizeRatio, policy, bitsPerKey, monkeyBaseFPR, compaction); err != nil {
+		return nil, err
+	}
+	if (policy == PolicyMaplet) != hasMaplet {
+		return nil, fmt.Errorf("%w: lsm: manifest policy %d but maplet presence %v", codec.ErrCorrupt, policy, hasMaplet)
+	}
+	if hadRangeFilter && opts.RangeFilter == nil {
+		return nil, fmt.Errorf("lsm: store was saved with a range filter; pass Options.RangeFilter to OpenStore (builders cannot be persisted)")
+	}
+	if nextID >= 1<<16 {
+		return nil, fmt.Errorf("%w: lsm: next run id %d out of the 16-bit id space", codec.ErrCorrupt, nextID)
+	}
+
+	opts.MemtableSize = memtableSize
+	opts.SizeRatio = sizeRatio
+	opts.Policy = policy
+	opts.BitsPerKey = bitsPerKey
+	opts.MonkeyBaseFPR = monkeyBaseFPR
+	opts.Compaction = compaction
+	s := New(opts)
+	s.maplet = maplet
+	s.memtable = memtable
+	s.nextID = nextID
+	s.freeIDs = freeIDs
+	s.dev.Reads = int(counters[0])
+	s.dev.Writes = int(counters[1])
+	s.dev.FailedReads = int(counters[2])
+	s.dev.FailedWrites = int(counters[3])
+	s.dev.SlowIOs = int(counters[4])
+	s.dev.ReplicaReads = int(counters[5])
+	s.dev.ReplicaWrites = int(counters[6])
+	s.FilterProbes = int(counters[7])
+	s.FilterFallbacks = int(counters[8])
+
+	// Load every run's files concurrently: each (data, filter) pair is
+	// independent, so reopening a many-run store scales with cores.
+	type slot struct {
+		level int
+		pos   int
+		mr    manifestRun
+	}
+	slots := make([]slot, 0, totalRuns)
+	for li, level := range levelRuns {
+		for ri, mr := range level {
+			slots = append(slots, slot{level: li, pos: ri, mr: mr})
+		}
+	}
+	runs := make([]*run, len(slots))
+	errs := make([]error, len(slots))
+	var wg sync.WaitGroup
+	for i, sl := range slots {
+		wg.Add(1)
+		go func(i int, sl slot) {
+			defer wg.Done()
+			runs[i], errs[i] = loadRunFiles(dir, sl.mr, sl.level, opts.RangeFilter)
+		}(i, sl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.levels = make([][]*run, numLevels)
+	for i, sl := range slots {
+		r := runs[i]
+		s.ensureLevel(sl.level)
+		s.levels[sl.level] = append(s.levels[sl.level], r)
+		if _, dup := s.runByID[r.id]; dup {
+			return nil, fmt.Errorf("%w: lsm: run id %d appears twice in the manifest", codec.ErrCorrupt, r.id)
+		}
+		s.runByID[r.id] = r
+	}
+	return s, nil
+}
+
+// checkStructural rejects caller-set structural options that disagree
+// with the manifest.
+func checkStructural(opts *Options, memtableSize, sizeRatio int, policy FilterPolicy, bitsPerKey, monkeyBaseFPR float64, compaction CompactionPolicy) error {
+	if opts.MemtableSize != 0 && opts.MemtableSize != memtableSize {
+		return fmt.Errorf("lsm: MemtableSize %d disagrees with saved store's %d", opts.MemtableSize, memtableSize)
+	}
+	if opts.SizeRatio != 0 && opts.SizeRatio != sizeRatio {
+		return fmt.Errorf("lsm: SizeRatio %d disagrees with saved store's %d", opts.SizeRatio, sizeRatio)
+	}
+	if opts.Policy != PolicyNone && opts.Policy != policy {
+		return fmt.Errorf("lsm: Policy %d disagrees with saved store's %d", opts.Policy, policy)
+	}
+	if opts.BitsPerKey != 0 && opts.BitsPerKey != bitsPerKey {
+		return fmt.Errorf("lsm: BitsPerKey %v disagrees with saved store's %v", opts.BitsPerKey, bitsPerKey)
+	}
+	if opts.MonkeyBaseFPR != 0 && opts.MonkeyBaseFPR != monkeyBaseFPR {
+		return fmt.Errorf("lsm: MonkeyBaseFPR %v disagrees with saved store's %v", opts.MonkeyBaseFPR, monkeyBaseFPR)
+	}
+	if opts.Compaction != Leveling && opts.Compaction != compaction {
+		return fmt.Errorf("lsm: Compaction %d disagrees with saved store's %d", opts.Compaction, compaction)
+	}
+	return nil
+}
+
+// loadRunFiles reads one run's data file, its filter file when the
+// manifest promises one, and rebuilds its range filter from the
+// reloaded keys when a builder is configured.
+func loadRunFiles(dir string, mr manifestRun, level int, rangeBuilder RangeFilterBuilder) (*run, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, runDataName(mr.id)))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: run %d: %w", mr.id, err)
+	}
+	r, err := readRun(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: run %d: %w", mr.id, err)
+	}
+	if r.id != mr.id {
+		return nil, fmt.Errorf("%w: lsm: file %s holds run %d", codec.ErrCorrupt, runDataName(mr.id), r.id)
+	}
+	if r.level != level {
+		return nil, fmt.Errorf("%w: lsm: run %d recorded at level %d but manifest places it at %d",
+			codec.ErrCorrupt, r.id, r.level, level)
+	}
+	if mr.hasFilter {
+		fraw, err := os.ReadFile(filepath.Join(dir, runFilterName(mr.id)))
+		if err != nil {
+			return nil, fmt.Errorf("lsm: run %d filter: %w", mr.id, err)
+		}
+		f, err := core.Load(bytes.NewReader(fraw))
+		if err != nil {
+			return nil, fmt.Errorf("lsm: run %d filter: %w", mr.id, err)
+		}
+		r.filter = f
+	}
+	if rangeBuilder != nil && len(r.entries) > 0 {
+		keys := make([]uint64, len(r.entries))
+		for i, e := range r.entries {
+			keys[i] = e.Key
+		}
+		r.rangeF = rangeBuilder(keys)
+	}
+	return r, nil
+}

@@ -1,0 +1,163 @@
+package persisttest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+)
+
+// TestRoundTrip is the core persistence property for every registered
+// filter type: Save → Load must reproduce bit-identical state (the
+// reloaded filter re-encodes to the same bytes) and identical query
+// answers, scalar and batched, for present and absent keys alike.
+func TestRoundTrip(t *testing.T) {
+	fixtures, err := Fixtures(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absent := Keys(4000, 99)
+	for _, fx := range fixtures {
+		t.Run(fx.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := core.Save(&buf, fx.Filter); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			encoded := buf.Bytes()
+			got, err := core.Load(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if got.TypeID() != fx.Filter.TypeID() {
+				t.Fatalf("TypeID: got %d, want %d", got.TypeID(), fx.Filter.TypeID())
+			}
+
+			// Bit-identical state: the reloaded filter must serialize to
+			// exactly the bytes it was loaded from.
+			var buf2 bytes.Buffer
+			if _, err := core.Save(&buf2, got); err != nil {
+				t.Fatalf("re-Save: %v", err)
+			}
+			if !bytes.Equal(encoded, buf2.Bytes()) {
+				t.Fatalf("re-encoding differs: %d vs %d bytes", len(encoded), buf2.Len())
+			}
+
+			if got.SizeBits() != fx.Filter.SizeBits() {
+				t.Errorf("SizeBits: got %d, want %d", got.SizeBits(), fx.Filter.SizeBits())
+			}
+			for _, k := range fx.Keys {
+				if !got.Contains(k) {
+					t.Fatalf("reloaded filter lost key %#x", k)
+				}
+			}
+			wantAbsent := make([]bool, len(absent))
+			gotAbsent := make([]bool, len(absent))
+			for i, k := range absent {
+				wantAbsent[i] = fx.Filter.Contains(k)
+				gotAbsent[i] = got.Contains(k)
+			}
+			for i := range absent {
+				if wantAbsent[i] != gotAbsent[i] {
+					t.Fatalf("Contains(%#x): got %v, want %v", absent[i], gotAbsent[i], wantAbsent[i])
+				}
+			}
+
+			// Batched answers must agree with the original's batched path.
+			wantBatch := make([]bool, len(absent))
+			gotBatch := make([]bool, len(absent))
+			core.ContainsBatch(fx.Filter, absent, wantBatch)
+			core.ContainsBatch(got, absent, gotBatch)
+			for i := range absent {
+				if wantBatch[i] != gotBatch[i] {
+					t.Fatalf("ContainsBatch(%#x): got %v, want %v", absent[i], gotBatch[i], wantBatch[i])
+				}
+			}
+		})
+	}
+}
+
+// TestLoadStreamsBackToBack verifies Load leaves the reader positioned
+// exactly after one filter's encoding, so several filters can share a
+// stream.
+func TestLoadStreamsBackToBack(t *testing.T) {
+	fixtures, err := Fixtures(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, fx := range fixtures {
+		if _, err := core.Save(&buf, fx.Filter); err != nil {
+			t.Fatalf("Save(%s): %v", fx.Name, err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for _, fx := range fixtures {
+		got, err := core.Load(r)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", fx.Name, err)
+		}
+		if got.TypeID() != fx.Filter.TypeID() {
+			t.Fatalf("Load(%s): TypeID %d, want %d", fx.Name, got.TypeID(), fx.Filter.TypeID())
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left after loading every filter", r.Len())
+	}
+}
+
+// TestCorruptionDetected flips bytes throughout each filter's encoding
+// and requires every mutation to surface as an ErrCorrupt-wrapped
+// error (or, for undetectable header-adjacent flips, at least not a
+// silently different filter).
+func TestCorruptionDetected(t *testing.T) {
+	fixtures, err := Fixtures(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := core.Save(&buf, fx.Filter); err != nil {
+				t.Fatal(err)
+			}
+			encoded := buf.Bytes()
+			// Stride through the encoding; exhaustive per-byte flips are
+			// the codec package's job, here we check every region of every
+			// filter format reports corruption.
+			for off := 0; off < len(encoded); off += 7 {
+				mutated := append([]byte(nil), encoded...)
+				mutated[off] ^= 0x40
+				_, err := core.Load(bytes.NewReader(mutated))
+				if err == nil {
+					t.Fatalf("flip at offset %d/%d not detected", off, len(encoded))
+				}
+				if !errors.Is(err, codec.ErrCorrupt) {
+					t.Fatalf("flip at offset %d: error %v does not wrap ErrCorrupt", off, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryCoverage pins the registered type table: all six filter
+// types from the tutorial must be present under their stable IDs.
+func TestRegistryCoverage(t *testing.T) {
+	want := map[uint16]string{
+		core.TypeBloom:        "bloom",
+		core.TypeBlockedBloom: "bloom.Blocked",
+		core.TypeCuckoo:       "cuckoo",
+		core.TypeQuotient:     "quotient",
+		core.TypeXor:          "xorfilter",
+		core.TypeSharded:      "concurrent.Sharded",
+	}
+	for id, name := range want {
+		if got := core.TypeName(id); got != name {
+			t.Errorf("TypeName(%d) = %q, want %q", id, got, name)
+		}
+	}
+	if got := len(core.RegisteredTypes()); got < len(want) {
+		t.Errorf("RegisteredTypes: %d entries, want at least %d", got, len(want))
+	}
+}

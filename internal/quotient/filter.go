@@ -1,6 +1,8 @@
 package quotient
 
 import (
+	"fmt"
+
 	"sort"
 
 	"beyondbloom/internal/core"
@@ -17,10 +19,10 @@ import (
 // fingerprint is already present is a no-op, and Delete removes the
 // fingerprint entirely. Use Counting for multiset semantics.
 type Filter struct {
+	spec core.Spec // construction parameters (q, r, seed)
 	t    *table
-	r    uint
-	seed uint64
-	n    int // distinct fingerprints stored
+	r    uint // current remainder bits (spec.R minus expansions)
+	n    int  // distinct fingerprints stored
 
 	// autoExpand, when set, doubles capacity (sacrificing one remainder
 	// bit per doubling, §2.2) when load exceeds maxLoad. When remainder
@@ -39,7 +41,7 @@ const maxLoad = 0.95
 // Capacity is maxLoad·2^q keys; the false-positive rate is about
 // load·2^-r.
 func New(q, r uint) *Filter {
-	return &Filter{t: newTable(q, r), r: r, seed: 0x9F0F100D}
+	return NewWithSeed(q, r, 0x9F0F100D)
 }
 
 // NewWithSeed returns a quotient filter using the given hash seed. The
@@ -47,8 +49,33 @@ func New(q, r uint) *Filter {
 // that layer extra per-key state on top (e.g. adaptive extensions) use
 // this to share the filter's fingerprint space.
 func NewWithSeed(q, r uint, seed uint64) *Filter {
-	return &Filter{t: newTable(q, r), r: r, seed: seed}
+	f, err := FromSpec(core.Spec{Type: core.TypeQuotient, Q: uint8(q), R: uint8(r), Seed: seed})
+	if err != nil {
+		panic(err) // matches the historic constructors, which panicked in newTable
+	}
+	return f
 }
+
+// FromSpec builds an empty quotient filter from its construction
+// parameters — the one code path the constructors, the registry, and
+// the decoder share.
+func FromSpec(s core.Spec) (*Filter, error) {
+	if s.Type != core.TypeQuotient {
+		return nil, fmt.Errorf("quotient: spec type %d is not TypeQuotient", s.Type)
+	}
+	if s.Q < 1 || s.Q > 40 {
+		return nil, fmt.Errorf("quotient: q=%d out of range [1,40]", s.Q)
+	}
+	if s.R < 1 || s.R > 58 {
+		return nil, fmt.Errorf("quotient: r=%d out of range [1,58]", s.R)
+	}
+	return &Filter{spec: s, t: newTable(uint(s.Q), uint(s.R)), r: uint(s.R)}, nil
+}
+
+// Spec returns the filter's construction parameters. Expansion changes
+// the live geometry but not the spec: current q/r are spec.Q+Expansions
+// and spec.R-Expansions.
+func (f *Filter) Spec() core.Spec { return f.spec }
 
 // NewForCapacity returns a filter sized for n keys at false-positive rate
 // near epsilon (r = ceil(log2(1/epsilon)) remainder bits).
@@ -81,7 +108,7 @@ func (f *Filter) Expansions() int { return f.expansions }
 func (f *Filter) Saturated() bool { return f.saturated }
 
 func (f *Filter) fingerprint(key uint64) (fq, fr uint64) {
-	h := hashutil.MixSeed(key, f.seed)
+	h := hashutil.MixSeed(key, f.spec.Seed)
 	fp := h & hashutil.Mask(f.t.q+f.r)
 	return fp >> f.r, fp & hashutil.Mask(f.r)
 }
@@ -250,8 +277,7 @@ func (f *Filter) expand() error {
 		return core.ErrFull
 	}
 	fps := f.Fingerprints()
-	nf := New(f.t.q+1, f.r-1)
-	nf.seed = f.seed
+	nf := &Filter{spec: f.spec, t: newTable(f.t.q+1, f.r-1), r: f.r - 1}
 	for _, fp := range fps {
 		fq, fr := fp>>nf.r, fp&hashutil.Mask(nf.r)
 		if _, err := nf.t.mutate(fq, func(slots []uint64) []uint64 {
@@ -279,7 +305,7 @@ func (f *Filter) expand() error {
 // seed) into f. The merged filter answers true for any key either input
 // answered true for.
 func (f *Filter) Merge(other *Filter) error {
-	if other.t.q != f.t.q || other.r != f.r || other.seed != f.seed {
+	if other.t.q != f.t.q || other.r != f.r || other.spec.Seed != f.spec.Seed {
 		return core.ErrImmutable
 	}
 	for _, fp := range other.Fingerprints() {

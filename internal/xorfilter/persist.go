@@ -1,0 +1,76 @@
+package xorfilter
+
+import (
+	"io"
+
+	"beyondbloom/internal/bitvec"
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+)
+
+func init() {
+	// XOR filters are static — construction peels a key set, so there is
+	// no Spec-only builder. Loading a saved filter is the only way to
+	// reconstruct one without the keys.
+	core.Register(core.TypeXor, "xorfilter",
+		func() core.Persistent { return &Filter{} },
+		nil)
+}
+
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (f *Filter) TypeID() uint16 { return core.TypeXor }
+
+// WriteTo serializes the filter as one codec frame: the construction
+// Spec (including the peeling seed that succeeded), the segment length,
+// and the nested slot-table frame.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	f.spec.Encode(&e)
+	e.U64(f.segLen)
+	if _, err := f.slots.WriteTo(&e); err != nil {
+		return 0, err
+	}
+	return codec.WriteFrame(w, core.TypeXor, e.Bytes())
+}
+
+// ReadFrom restores a filter written by WriteTo into the receiver,
+// validating the checksum, the Spec, and the geometry: the segment
+// length must match the sizing formula for the stored key count, and
+// the slot table must be exactly three segments of fpBits-wide slots.
+// On error the receiver is left unchanged.
+func (f *Filter) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeXor)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	segLen := d.U64()
+	var slots bitvec.Packed
+	if d.Err() == nil {
+		if _, err := slots.ReadFrom(d); err != nil {
+			return 0, err
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	if spec.Type != core.TypeXor || spec.FPBits < 1 || spec.FPBits > 32 || spec.Seed == 0 {
+		return 0, d.Corruptf("xorfilter: bad spec (type=%d fpBits=%d seed=%d)", spec.Type, spec.FPBits, spec.Seed)
+	}
+	if spec.N < 0 || spec.N > 1<<40 || segLen != segmentLen(spec.N) {
+		return 0, d.Corruptf("xorfilter: segment length %d disagrees with %d keys (want %d)",
+			segLen, spec.N, segmentLen(spec.N))
+	}
+	if uint64(slots.Len()) != 3*segLen || slots.Width() != uint(spec.FPBits) {
+		return 0, d.Corruptf("xorfilter: table %d slots × %d bits, want %d × %d",
+			slots.Len(), slots.Width(), 3*segLen, spec.FPBits)
+	}
+	f.spec = spec
+	f.slots = &slots
+	f.segLen = segLen
+	f.fpBits = uint(spec.FPBits)
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
+var _ core.Persistent = (*Filter)(nil)

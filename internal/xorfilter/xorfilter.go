@@ -20,15 +20,21 @@ var ErrConstruction = errors.New("xorfilter: construction failed")
 
 // Filter is an immutable XOR filter.
 type Filter struct {
+	spec   core.Spec // construction parameters (key count, fp bits, winning seed)
 	slots  *bitvec.Packed
 	segLen uint64 // slots per segment (3 segments)
 	fpBits uint
-	seed   uint64
-	n      int
 }
 
 // sizingFactor is the standard 1.23 slot-per-key overhead.
 const sizingFactor = 1.23
+
+// segmentLen returns the per-segment slot count for n keys — one
+// deterministic formula shared by construction and the decoder's
+// geometry validation.
+func segmentLen(n int) uint64 {
+	return uint64(float64(n)*sizingFactor/3) + 11
+}
 
 // New builds an XOR filter over keys with fpBits-bit fingerprints
 // (false-positive rate 2^-fpBits). Duplicate keys are tolerated.
@@ -38,14 +44,18 @@ func New(keys []uint64, fpBits uint) (*Filter, error) {
 	}
 	keys = dedup(keys)
 	n := len(keys)
-	segLen := uint64(float64(n)*sizingFactor/3) + 11
+	segLen := segmentLen(n)
 	for seed := uint64(1); seed <= 64; seed++ {
 		f := &Filter{
+			spec: core.Spec{
+				Type:   core.TypeXor,
+				N:      n,
+				FPBits: uint8(fpBits),
+				Seed:   seed * 0x9E3779B97F4A7C15,
+			},
 			slots:  bitvec.NewPacked(int(3*segLen), fpBits),
 			segLen: segLen,
 			fpBits: fpBits,
-			seed:   seed * 0x9E3779B97F4A7C15,
-			n:      n,
 		}
 		if f.build(keys) {
 			return f, nil
@@ -53,6 +63,10 @@ func New(keys []uint64, fpBits uint) (*Filter, error) {
 	}
 	return nil, ErrConstruction
 }
+
+// Spec returns the filter's construction parameters, including the
+// peeling seed that succeeded.
+func (f *Filter) Spec() core.Spec { return f.spec }
 
 func dedup(keys []uint64) []uint64 {
 	seen := make(map[uint64]struct{}, len(keys))
@@ -68,7 +82,7 @@ func dedup(keys []uint64) []uint64 {
 
 // hashes returns the three slot indices and the fingerprint for key.
 func (f *Filter) hashes(key uint64) (h [3]uint64, fp uint64) {
-	x := hashutil.MixSeed(key, f.seed)
+	x := hashutil.MixSeed(key, f.spec.Seed)
 	fp = hashutil.Fingerprint(x, f.fpBits)
 	h[0] = hashutil.Reduce(x, f.segLen)
 	h[1] = f.segLen + hashutil.Reduce(hashutil.Mix64(x+1), f.segLen)
@@ -167,7 +181,7 @@ func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 }
 
 // Len returns the number of keys the filter was built over.
-func (f *Filter) Len() int { return f.n }
+func (f *Filter) Len() int { return f.spec.N }
 
 // SizeBits returns the footprint in bits.
 func (f *Filter) SizeBits() int { return f.slots.SizeBits() }

@@ -1,17 +1,22 @@
 #!/bin/sh
-# Run the batched-vs-scalar filter benchmarks and record the results in
-# BENCH_batch.json (see batch_bench_test.go for what is measured).
+# Run the batched-vs-scalar filter benchmarks (-> BENCH_batch.json, see
+# batch_bench_test.go) and the persistence codec benchmarks
+# (-> BENCH_persist.json, see persist_bench_test.go).
 # Setup builds multi-MB filters, so a full run takes a few minutes.
 set -eu
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_batch.json
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 echo "== go test -bench Filter*Contains{Scalar,Batch} =="
 go test -run '^$' -bench 'Filter.*Contains(Scalar|Batch)' \
 	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
+python3 scripts/bench_to_json.py <"$RAW" >BENCH_batch.json
+echo "wrote BENCH_batch.json"
 
-python3 scripts/bench_to_json.py <"$RAW" >"$OUT"
-echo "wrote $OUT"
+echo "== go test -bench Persist{Encode,Decode} =="
+go test -run '^$' -bench 'Persist(Encode|Decode)' \
+	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
+python3 scripts/bench_to_json.py <"$RAW" >BENCH_persist.json
+echo "wrote BENCH_persist.json"

@@ -5,8 +5,8 @@ Reads benchmark output on stdin, writes JSON on stdout:
 
   {
     "meta": {"goos": ..., "goarch": ..., "pkg": ..., "cpu": ...},
-    "benchmarks": [{"name", "iters", "ns_per_op", "b_per_op",
-                    "allocs_per_op"}, ...],
+    "benchmarks": [{"name", "iters", "ns_per_op", "mb_per_s",
+                    "b_per_op", "allocs_per_op"}, ...],
     "pairs": [{"base", "scalar_ns_per_op", "batch_ns_per_op",
                "speedup"}, ...]
   }
@@ -22,6 +22,7 @@ import sys
 
 BENCH_RE = re.compile(
     r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) MB/s)?"
     r"(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?"
 )
 META_RE = re.compile(r"^(goos|goarch|pkg|cpu): (.*)$")
@@ -41,8 +42,9 @@ def parse(lines):
                     "name": m.group(1),
                     "iters": int(m.group(2)),
                     "ns_per_op": float(m.group(3)),
-                    "b_per_op": float(m.group(4)) if m.group(4) else None,
-                    "allocs_per_op": int(m.group(5)) if m.group(5) else 0,
+                    "mb_per_s": float(m.group(4)) if m.group(4) else None,
+                    "b_per_op": float(m.group(5)) if m.group(5) else None,
+                    "allocs_per_op": int(m.group(6)) if m.group(6) else 0,
                 }
             )
     return meta, benches

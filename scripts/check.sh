@@ -4,6 +4,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -17,6 +25,10 @@ echo "== experiment smoke (exp all -scale 0.05) =="
 go run ./cmd/beyondbloom exp all -scale 0.05 >/dev/null
 
 echo "== benchmark smoke (1 iteration, -short) =="
-go test -short -run '^$' -bench Filter -benchtime 1x -benchmem . >/dev/null
+go test -short -run '^$' -bench 'Filter|Persist' -benchtime 1x -benchmem . >/dev/null
+
+echo "== codec fuzz burst (10s each) =="
+go test -run '^$' -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/codec >/dev/null
+go test -run '^$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/persisttest >/dev/null
 
 echo "OK"
