@@ -12,6 +12,8 @@ package core
 import (
 	"errors"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // Sentinel errors returned by filter operations.
@@ -124,30 +126,50 @@ type AdaptiveFilter interface {
 }
 
 // MapSet is a trivial exact Remote backed by a Go map. It also counts
-// accesses, standing in for disk I/Os in adaptivity experiments.
+// accesses, standing in for disk I/Os in adaptivity experiments. It is
+// safe for concurrent use: lookups share a read lock and the access
+// counter is atomic, so a MapSet can mirror a concurrent store.
 type MapSet struct {
+	mu       sync.RWMutex
 	m        map[uint64]struct{}
-	Accesses int
+	accesses atomic.Int64
 }
 
 // NewMapSet returns an empty exact set.
 func NewMapSet() *MapSet { return &MapSet{m: make(map[uint64]struct{})} }
 
 // Insert adds key to the set.
-func (s *MapSet) Insert(key uint64) { s.m[key] = struct{}{} }
+func (s *MapSet) Insert(key uint64) {
+	s.mu.Lock()
+	s.m[key] = struct{}{}
+	s.mu.Unlock()
+}
 
 // Delete removes key from the set.
-func (s *MapSet) Delete(key uint64) { delete(s.m, key) }
+func (s *MapSet) Delete(key uint64) {
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
 
 // Contains reports exact membership and counts the access.
 func (s *MapSet) Contains(key uint64) bool {
-	s.Accesses++
+	s.accesses.Add(1)
+	s.mu.RLock()
 	_, ok := s.m[key]
+	s.mu.RUnlock()
 	return ok
 }
 
+// Accesses returns how many Contains calls the set has served.
+func (s *MapSet) Accesses() int { return int(s.accesses.Load()) }
+
 // Len returns the set cardinality.
-func (s *MapSet) Len() int { return len(s.m) }
+func (s *MapSet) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
 
 // BitsPerKey returns the space of a filter normalized by the number of
 // keys it holds.

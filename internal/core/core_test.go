@@ -12,8 +12,8 @@ func TestMapSet(t *testing.T) {
 	if !s.Contains(1) || !s.Contains(2) || s.Contains(3) {
 		t.Fatal("MapSet membership wrong")
 	}
-	if s.Accesses != 3 {
-		t.Fatalf("Accesses = %d, want 3", s.Accesses)
+	if s.Accesses() != 3 {
+		t.Fatalf("Accesses = %d, want 3", s.Accesses())
 	}
 	s.Delete(1)
 	if s.Contains(1) {

@@ -216,13 +216,13 @@ func runA5(cfg Config) []*metrics.Table {
 			s.Put(k, uint64(i))
 		}
 		s.Flush()
-		writeAmp := float64(s.Device().Writes) / float64(dataBlocks)
-		before := s.Device().Reads
+		writeAmp := float64(s.Device().Writes()) / float64(dataBlocks)
+		before := s.Device().Reads()
 		for _, k := range missQ {
 			s.Get(k)
 		}
 		t.AddRow(T, s.Levels(), writeAmp,
-			float64(s.Device().Reads-before)/float64(len(missQ)))
+			float64(s.Device().Reads()-before)/float64(len(missQ)))
 	}
 	return []*metrics.Table{t}
 }

@@ -160,24 +160,24 @@ func e16LSM(cfg Config) *metrics.Table {
 		}
 
 		wrong := 0
-		before := s.Device().Reads
+		before := s.Device().Reads()
 		for _, k := range missQ {
 			if _, ok := s.Get(k); ok {
 				wrong++
 			}
 		}
-		ioMiss := float64(s.Device().Reads-before) / float64(len(missQ))
-		before = s.Device().Reads
+		ioMiss := float64(s.Device().Reads()-before) / float64(len(missQ))
+		before = s.Device().Reads()
 		for _, k := range hitQ {
 			v, ok := s.Get(k)
 			if !ok || keys[v] != k {
 				wrong++
 			}
 		}
-		ioHit := float64(s.Device().Reads-before) / float64(len(hitQ))
+		ioHit := float64(s.Device().Reads()-before) / float64(len(hitQ))
 		d := s.Device()
-		t.AddRow(sc.name, ioMiss, ioHit, s.FilterFallbacks, d.ReplicaReads,
-			d.FailedReads+d.FailedWrites, wrong)
+		t.AddRow(sc.name, ioMiss, ioHit, s.FilterFallbacks(), d.ReplicaReads(),
+			d.FailedReads()+d.FailedWrites(), wrong)
 	}
 	return t
 }

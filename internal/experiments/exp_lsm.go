@@ -37,19 +37,19 @@ func runE10(cfg Config) []*metrics.Table {
 		}
 		s.Flush()
 
-		s.FilterProbes = 0
-		before := s.Device().Reads
+		probesBefore := s.FilterProbes()
+		before := s.Device().Reads()
 		for _, k := range missQ {
 			s.Get(k)
 		}
-		ioMiss := float64(s.Device().Reads-before) / float64(len(missQ))
-		probesMiss := float64(s.FilterProbes) / float64(len(missQ))
+		ioMiss := float64(s.Device().Reads()-before) / float64(len(missQ))
+		probesMiss := float64(s.FilterProbes()-probesBefore) / float64(len(missQ))
 
-		before = s.Device().Reads
+		before = s.Device().Reads()
 		for _, k := range hitQ {
 			s.Get(k)
 		}
-		ioHit := float64(s.Device().Reads-before) / float64(len(hitQ))
+		ioHit := float64(s.Device().Reads()-before) / float64(len(hitQ))
 
 		t.AddRow(pc.name, s.Levels(), ioMiss, ioHit,
 			float64(s.FilterMemoryBits())/8/1024/1024, probesMiss)
@@ -74,17 +74,17 @@ func runE10(cfg Config) []*metrics.Table {
 			s.Put(k, uint64(i))
 		}
 		s.Flush()
-		writeAmp := float64(s.Device().Writes) / float64(dataBlocks)
-		before := s.Device().Reads
+		writeAmp := float64(s.Device().Writes()) / float64(dataBlocks)
+		before := s.Device().Reads()
 		for _, k := range missQ {
 			s.Get(k)
 		}
-		ioMiss := float64(s.Device().Reads-before) / float64(len(missQ))
-		before = s.Device().Reads
+		ioMiss := float64(s.Device().Reads()-before) / float64(len(missQ))
+		before = s.Device().Reads()
 		for _, k := range hitQ {
 			s.Get(k)
 		}
-		ioHit := float64(s.Device().Reads-before) / float64(len(hitQ))
+		ioHit := float64(s.Device().Reads()-before) / float64(len(hitQ))
 		ct.AddRow(cc.name, writeAmp, s.Runs(), ioMiss, ioHit)
 	}
 	return []*metrics.Table{t, ct}
@@ -136,21 +136,21 @@ func runE11(cfg Config) []*metrics.Table {
 		s.Flush()
 
 		// Empty scans probe mid-gap (half a grid step past a key).
-		s.Device().Reads = 0
+		before := s.Device().Reads()
 		for i := 0; i < scans; i++ {
 			lo := keys[i%len(keys)] + 1<<35
 			if got := s.Scan(lo, lo+1023); len(got) != 0 {
 				panic("E11: mid-gap scan returned entries")
 			}
 		}
-		ioEmpty := float64(s.Device().Reads) / float64(scans)
+		ioEmpty := float64(s.Device().Reads()-before) / float64(scans)
 		// Hit scans: anchored on real keys.
-		s.Device().Reads = 0
+		before = s.Device().Reads()
 		for i := 0; i < scans; i++ {
 			lo := keys[i%len(keys)]
 			s.Scan(lo, lo+1023)
 		}
-		ioHit := float64(s.Device().Reads) / float64(scans)
+		ioHit := float64(s.Device().Reads()-before) / float64(scans)
 		t.AddRow(b.name, ioEmpty, ioHit)
 	}
 	return []*metrics.Table{t}

@@ -194,7 +194,7 @@ func e17StoreReopen(cfg Config) *metrics.Table {
 		panic(err)
 	}
 	reopenSec := time.Since(start).Seconds()
-	reopenedReads, reopenedWrites := reopened.Device().Reads, reopened.Device().Writes
+	reopenedReads, reopenedWrites := reopened.Device().Reads(), reopened.Device().Writes()
 	if v, ok := reopened.Get(keys[0]); !ok || v != 0 {
 		panic("e17: reopened store lost a key")
 	}
@@ -202,7 +202,7 @@ func e17StoreReopen(cfg Config) *metrics.Table {
 	t := metrics.NewTable("E17c: reopen vs rebuild, LSM store ("+itoa(n)+" entries, PolicyBloom)",
 		"path", "seconds", "speedup", "runs", "reads", "writes")
 	t.AddRow("rebuild_with_puts", fmt.Sprintf("%.3f", buildSec), "1.0x",
-		itoa(s.Runs()), itoa(s.Device().Reads), itoa(s.Device().Writes))
+		itoa(s.Runs()), itoa(s.Device().Reads()), itoa(s.Device().Writes()))
 	t.AddRow("reopen_from_disk", fmt.Sprintf("%.3f", reopenSec),
 		fmt.Sprintf("%.1fx", buildSec/reopenSec),
 		itoa(reopened.Runs()), itoa(reopenedReads), itoa(reopenedWrites))

@@ -12,10 +12,10 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 23 { // E1-E17 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 23", len(exps))
+	if len(exps) != 24 { // E1-E18 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 24", len(exps))
 	}
-	for i, e := range exps[:17] {
+	for i, e := range exps[:18] {
 		if e.ID != "E"+itoa(i+1) {
 			t.Errorf("experiment %d has ID %s", i, e.ID)
 		}
@@ -115,6 +115,32 @@ func TestE17PersistExperiment(t *testing.T) {
 		"rebuild_from_keys", "reload_from_file", "rebuild_with_puts", "reopen_from_disk"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("E17 missing row %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestE18ConcurrentExperiment checks the concurrency experiment's
+// invariant: every read-scaling row reports zero wrong results, with
+// and without the churn writer.
+func TestE18ConcurrentExperiment(t *testing.T) {
+	out := runOne(t, "E18")
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || (fields[1] != "none" && fields[1] != "churn") {
+			continue
+		}
+		rows++
+		if fields[len(fields)-1] != "0" {
+			t.Errorf("E18 row reports wrong results:\n%s", line)
+		}
+	}
+	if rows != 8 {
+		t.Errorf("E18 produced %d read-scaling rows, want 8:\n%s", rows, out)
+	}
+	for _, name := range []string{"sync_inline", "bg_budget=2", "bg_budget=16"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E18b missing mode %s:\n%s", name, out)
 		}
 	}
 }

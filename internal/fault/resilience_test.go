@@ -170,7 +170,7 @@ func TestFallibleSet(t *testing.T) {
 	if _, err := fs2.Contains(ctx, 7); !IsTransient(err) {
 		t.Fatalf("err = %v, want transient", err)
 	}
-	if set2.Accesses != 0 {
+	if set2.Accesses() != 0 {
 		t.Fatalf("failed call should not touch the remote")
 	}
 

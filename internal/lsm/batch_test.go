@@ -47,8 +47,8 @@ func TestGetBatchMatchesGet(t *testing.T) {
 			batch := buildBatchStore(tc.opts, n)
 			probes := batchProbes(n)
 
-			baseScalar := scalar.Device().Reads
-			baseBatch := batch.Device().Reads
+			baseScalar := scalar.Device().Reads()
+			baseBatch := batch.Device().Reads()
 			if baseScalar != baseBatch {
 				t.Fatalf("construction I/O diverged: %d vs %d", baseScalar, baseBatch)
 			}
@@ -64,11 +64,11 @@ func TestGetBatchMatchesGet(t *testing.T) {
 			}
 			// Identical probe workload must charge identical read I/O and
 			// filter probes on both paths.
-			if got, want := batch.Device().Reads-baseBatch, scalar.Device().Reads-baseScalar; got != want {
+			if got, want := batch.Device().Reads()-baseBatch, scalar.Device().Reads()-baseScalar; got != want {
 				t.Errorf("batch read I/O %d, scalar %d", got, want)
 			}
-			if batch.FilterProbes != scalar.FilterProbes {
-				t.Errorf("batch FilterProbes %d, scalar %d", batch.FilterProbes, scalar.FilterProbes)
+			if batch.FilterProbes() != scalar.FilterProbes() {
+				t.Errorf("batch FilterProbes %d, scalar %d", batch.FilterProbes(), scalar.FilterProbes())
 			}
 		})
 	}
@@ -115,7 +115,7 @@ func TestGetBatchWithFilterFaults(t *testing.T) {
 			t.Fatalf("key %d: faulted batch (%d,%v) vs reference (%d,%v)", k, values[i], found[i], v, ok)
 		}
 	}
-	if s.FilterFallbacks == 0 {
+	if s.FilterFallbacks() == 0 {
 		t.Fatal("expected some faulted filter probes")
 	}
 }

@@ -1,0 +1,290 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"beyondbloom/internal/bloom"
+)
+
+// This file is the flush/compaction engine: every function here mutates
+// the store's level tree (s.tree, s.runByID) and therefore runs only on
+// the engine goroutine — the background worker in Background mode, or a
+// caller holding mu's write lock in synchronous mode. Queries never
+// touch the tree; they probe the immutable view published by
+// publishLocked.
+
+// flushMem writes one frozen memtable as a new level-0 run.
+func (s *Store) flushMem(fm *memRun) {
+	entries := make([]Entry, 0, len(fm.entries))
+	for _, e := range fm.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	s.pushRun(entries, 0)
+}
+
+// levelCapacity returns the entry capacity of level i.
+func (s *Store) levelCapacity(level int) int {
+	c := s.opts.MemtableSize
+	for i := 0; i <= level; i++ {
+		c *= s.opts.SizeRatio
+	}
+	return c
+}
+
+// ensureLevel grows the level slice.
+func (s *Store) ensureLevel(level int) {
+	for len(s.tree) <= level {
+		s.tree = append(s.tree, nil)
+	}
+}
+
+// pushRun installs entries at the given level. Under Leveling (or at the
+// last level under LazyLeveling) the new entries merge with the level's
+// existing run; otherwise the run is appended, newest first.
+func (s *Store) pushRun(entries []Entry, level int) {
+	s.ensureLevel(level)
+	// Lazy leveling merges only at the largest level, and never at level
+	// 0 (before any compaction has opened deeper levels, level 0 is
+	// trivially "last" and merging there would rewrite it every flush).
+	merge := s.opts.Compaction == Leveling ||
+		(s.opts.Compaction == LazyLeveling && level > 0 && s.isLastDataLevel(level))
+	if merge && len(s.tree[level]) > 0 {
+		for _, old := range s.tree[level] {
+			entries = s.mergeEntries(entries, old.entries, s.isLastDataLevel(level))
+			s.devRead((len(old.entries) + entriesPerBlock - 1) / entriesPerBlock)
+			s.retireRun(old)
+		}
+		s.tree[level] = nil
+	}
+	r := s.buildRun(entries, level)
+	s.tree[level] = append([]*run{r}, s.tree[level]...)
+}
+
+// isLastDataLevel reports whether no deeper level currently holds data.
+func (s *Store) isLastDataLevel(level int) bool {
+	for i := level + 1; i < len(s.tree); i++ {
+		if len(s.tree[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// levelEntries counts entries across a level's runs.
+func (s *Store) levelEntries(level int) int {
+	n := 0
+	for _, r := range s.tree[level] {
+		n += len(r.entries)
+	}
+	return n
+}
+
+// mergeEntries merges newer over older; tombstones survive unless this is
+// the last level.
+func (s *Store) mergeEntries(newer, older []Entry, lastLevel bool) []Entry {
+	out := make([]Entry, 0, len(newer)+len(older))
+	i, j := 0, 0
+	for i < len(newer) || j < len(older) {
+		var e Entry
+		switch {
+		case i >= len(newer):
+			e = older[j]
+			j++
+		case j >= len(older):
+			e = newer[i]
+			i++
+		case newer[i].Key < older[j].Key:
+			e = newer[i]
+			i++
+		case newer[i].Key > older[j].Key:
+			e = older[j]
+			j++
+		default:
+			e = newer[i] // newer wins
+			i++
+			j++
+		}
+		if e.Tombstone && lastLevel {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// allocRunID takes an id from the recycle pool (or mints a fresh one).
+func (s *Store) allocRunID() uint64 {
+	s.idMu.Lock()
+	defer s.idMu.Unlock()
+	if n := len(s.freeIDs); n > 0 {
+		id := s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+		return id
+	}
+	s.nextID++
+	if s.nextID >= 1<<16 {
+		panic("lsm: run id space exhausted")
+	}
+	return s.nextID
+}
+
+// buildRun constructs the run plus its filters, charging write I/O.
+func (s *Store) buildRun(entries []Entry, level int) *run {
+	r := &run{id: s.allocRunID(), entries: entries, level: level}
+	s.devWrite((len(entries) + entriesPerBlock - 1) / entriesPerBlock)
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	switch s.opts.Policy {
+	case PolicyBloom:
+		bf := bloom.NewBits(len(entries), s.opts.BitsPerKey)
+		for _, k := range keys {
+			bf.Insert(k)
+		}
+		r.filter = bf
+	case PolicyMonkey:
+		fpr := s.monkeyFPR(level)
+		bf := bloom.New(len(entries), fpr)
+		for _, k := range keys {
+			bf.Insert(k)
+		}
+		r.filter = bf
+	case PolicyMaplet:
+		// Maplet entries for the new run go in before the view swap
+		// (readers ignore ids their view does not hold yet), and the
+		// retired runs' entries come out only after it — so a reader
+		// whose view is unchanged across its maplet read holds candidates
+		// covering every run of that view (see mapletGet).
+		for _, k := range keys {
+			s.mapletPut(k, r.id)
+		}
+	}
+	if s.opts.RangeFilter != nil {
+		r.rangeF = s.opts.RangeFilter(keys)
+	}
+	s.runByID[r.id] = r
+	return r
+}
+
+// monkeyFPR returns the Monkey-assigned false-positive rate for a level:
+// the largest level pays MonkeyBaseFPR; each smaller level pays a factor
+// T less, so the series sums to ≈ base·T/(T-1) = O(base).
+func (s *Store) monkeyFPR(level int) float64 {
+	depth := len(s.tree) - 1 - level
+	if depth < 0 {
+		depth = 0
+	}
+	fpr := s.opts.MonkeyBaseFPR
+	for i := 0; i < depth; i++ {
+		fpr /= float64(s.opts.SizeRatio)
+	}
+	if fpr < 1e-9 {
+		fpr = 1e-9
+	}
+	return fpr
+}
+
+func (s *Store) mapletPut(key, runID uint64) {
+	if err := s.maplet.PutExpanding(key, runID); err != nil {
+		panic(fmt.Sprintf("lsm: maplet cannot expand: %v", err))
+	}
+}
+
+// retireRun removes a compaction-superseded run from the engine's index.
+// Synchronously it also strips its maplet entries and recycles its id on
+// the spot (the deterministic legacy order); in Background mode both
+// steps wait until after the view swap (finishRetired), so a concurrent
+// reader holding stale maplet candidates still finds the run's data.
+func (s *Store) retireRun(old *run) {
+	delete(s.runByID, old.id)
+	if s.deferRetire {
+		s.retired = append(s.retired, old)
+		return
+	}
+	s.recycleRun(old)
+}
+
+// recycleRun returns a retired run's id to the pool and deletes its
+// maplet entries.
+func (s *Store) recycleRun(old *run) {
+	s.idMu.Lock()
+	s.freeIDs = append(s.freeIDs, old.id)
+	s.idMu.Unlock()
+	if s.maplet == nil {
+		return
+	}
+	for _, e := range old.entries {
+		// The entry may have been re-pointed already; delete is best
+		// effort keyed by (key, old run id).
+		_ = s.maplet.Delete(e.Key, old.id)
+	}
+}
+
+// finishRetired performs the deferred half of Background-mode
+// retirement: maplet deletions and id recycling, strictly after the
+// view swap that removed the runs (retire-after-swap).
+func (s *Store) finishRetired() {
+	for _, old := range s.retired {
+		s.recycleRun(old)
+	}
+	s.retired = s.retired[:0]
+}
+
+// compact cascades oversized levels downward. Leveling moves a level's
+// single run down when it outgrows its capacity; tiering merges a
+// level's T runs into one run a level down once T accumulate.
+func (s *Store) compact() {
+	for level := 0; level < len(s.tree); level++ {
+		switch s.opts.Compaction {
+		case Leveling:
+			if s.levelEntries(level) <= s.levelCapacity(level) {
+				continue
+			}
+			runs := s.tree[level]
+			s.tree[level] = nil
+			merged := s.drainRuns(runs, s.isLastDataLevel(level))
+			s.pushRun(merged, level+1)
+		case Tiering:
+			if len(s.tree[level]) < s.opts.SizeRatio {
+				continue
+			}
+			runs := s.tree[level]
+			s.tree[level] = nil
+			merged := s.drainRuns(runs, s.isLastDataLevel(level))
+			s.pushRun(merged, level+1)
+		case LazyLeveling:
+			// Tier every level except the largest; the largest spills to
+			// a fresh deeper level when it outgrows its capacity.
+			if level > 0 && s.isLastDataLevel(level) {
+				if s.levelEntries(level) <= s.levelCapacity(level) {
+					continue
+				}
+			} else if len(s.tree[level]) < s.opts.SizeRatio {
+				continue
+			}
+			runs := s.tree[level]
+			s.tree[level] = nil
+			merged := s.drainRuns(runs, s.isLastDataLevel(level))
+			s.pushRun(merged, level+1)
+		}
+	}
+}
+
+// drainRuns merges runs (newest first) into one entry list, retiring
+// them and charging the read I/O of the rewrite.
+func (s *Store) drainRuns(runs []*run, lastLevel bool) []Entry {
+	var merged []Entry
+	for i, r := range runs {
+		s.devRead((len(r.entries) + entriesPerBlock - 1) / entriesPerBlock)
+		if i == 0 {
+			merged = append(merged, r.entries...)
+		} else {
+			merged = s.mergeEntries(merged, r.entries, lastLevel)
+		}
+		s.retireRun(r)
+	}
+	return merged
+}

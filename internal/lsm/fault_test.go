@@ -49,7 +49,7 @@ func TestDegradedLookupsStayCorrect(t *testing.T) {
 	// Fault-free twin: the cost floor every faulty scenario must exceed.
 	clean, cleanKeys := loadStore(t, base, n)
 	verifyExact(t, "clean", clean, cleanKeys)
-	cleanReads, cleanWrites := clean.Device().Reads, clean.Device().Writes
+	cleanReads, cleanWrites := clean.Device().Reads(), clean.Device().Writes()
 
 	cases := []struct {
 		name string
@@ -130,28 +130,28 @@ func TestDegradedLookupsStayCorrect(t *testing.T) {
 			verifyExact(t, tc.name, s, keys)
 			d := s.Device()
 			if tc.wantFailedWrites {
-				if d.FailedWrites == 0 {
+				if d.FailedWrites() == 0 {
 					t.Error("expected failed write attempts")
 				}
-				if d.Writes <= cleanWrites {
-					t.Errorf("Writes = %d, want > clean %d (retries must cost I/O)", d.Writes, cleanWrites)
+				if d.Writes() <= cleanWrites {
+					t.Errorf("Writes = %d, want > clean %d (retries must cost I/O)", d.Writes(), cleanWrites)
 				}
 			}
-			if tc.wantFailedReads && d.FailedReads == 0 {
+			if tc.wantFailedReads && d.FailedReads() == 0 {
 				t.Error("expected failed read attempts")
 			}
-			if tc.faultLookups != nil && d.Reads <= cleanReads {
-				t.Errorf("Reads = %d, want > clean %d (degraded lookups must cost more)", d.Reads, cleanReads)
+			if tc.faultLookups != nil && d.Reads() <= cleanReads {
+				t.Errorf("Reads = %d, want > clean %d (degraded lookups must cost more)", d.Reads(), cleanReads)
 			}
-			if tc.wantReplica && d.ReplicaReads == 0 {
+			if tc.wantReplica && d.ReplicaReads() == 0 {
 				t.Error("expected replica recoveries")
 			}
 			if tc.wantFallbacks {
-				if s.FilterFallbacks == 0 {
+				if s.FilterFallbacks() == 0 {
 					t.Error("expected filter fallback probes")
 				}
-				if d.Reads <= cleanReads {
-					t.Errorf("Reads = %d, want > clean %d (fallback probes must cost I/O)", d.Reads, cleanReads)
+				if d.Reads() <= cleanReads {
+					t.Errorf("Reads = %d, want > clean %d (fallback probes must cost I/O)", d.Reads(), cleanReads)
 				}
 			}
 		})
@@ -185,7 +185,7 @@ func TestDegradedScanStaysCorrect(t *testing.T) {
 	if len(got) != n {
 		t.Fatalf("Scan returned %d entries, want %d", len(got), n)
 	}
-	if s.FilterFallbacks == 0 {
+	if s.FilterFallbacks() == 0 {
 		t.Fatal("expected range-filter fallbacks")
 	}
 }

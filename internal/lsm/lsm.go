@@ -17,14 +17,29 @@
 // Range scans optionally use a per-run range filter (SuRF, Rosetta or
 // Grafite built at flush/compaction time) to skip runs whose key range
 // matches but whose contents don't (experiment E11).
+//
+// # Concurrency model
+//
+// The store is safe for concurrent use (see DESIGN.md §8). Readers
+// (Get, GetBatch, Scan, Len, ...) probe an immutable snapshot — the
+// frozen memtables plus the full level/run tree — loaded from an
+// atomic.Pointer, so they never contend with each other and only take a
+// short read-lock to consult the active memtable. Writers append to the
+// mutex-guarded active memtable; a full memtable is frozen and handed
+// to the flush engine. With Options.Background set, a dedicated
+// goroutine runs flushes and compactions and writers stall only when
+// the L0 backlog exceeds Options.L0RunBudget; otherwise flushing runs
+// inline, which keeps the I/O accounting deterministic for experiment
+// replay.
 package lsm
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
-	"beyondbloom/internal/bloom"
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/fault"
 	"beyondbloom/internal/quotient"
@@ -45,50 +60,100 @@ type Entry struct {
 // and the Store degrades (retries, then recovers from a replica) instead
 // of panicking. Every attempt is charged to Reads/Writes, so a faulty
 // run costs strictly more I/O than a healthy one — never a wrong answer.
+//
+// Counters are atomics: they may be read from any goroutine while
+// operations are in flight. Each counter is individually exact and
+// monotonic; Counters returns a read-side snapshot (see DESIGN.md §8
+// for what "snapshot-consistent" means under concurrency).
 type Device struct {
-	Reads  int
-	Writes int
+	reads        atomic.Int64
+	writes       atomic.Int64
+	failedReads  atomic.Int64
+	failedWrites atomic.Int64
+	slowIOs      atomic.Int64
+	replicaReads atomic.Int64
+	replicaWrite atomic.Int64
 	// Faults, when non-nil, judges every I/O. Transient/permanent
 	// outcomes fail the call; bit-flips surface as detected corruption
-	// (checksum mismatch); latency outcomes only bump SlowIOs.
+	// (checksum mismatch); latency outcomes only bump SlowIOs. The
+	// injector itself is safe for concurrent use; installing a new one
+	// must happen before concurrent operations start.
 	Faults *fault.Injector
-	// FailedReads/FailedWrites count individual attempts that faulted.
-	FailedReads  int
-	FailedWrites int
-	// SlowIOs counts attempts that saw injected latency.
-	SlowIOs int
-	// ReplicaReads/ReplicaWrites count operations that exhausted their
-	// retries and fell back to the (always-intact) replica.
-	ReplicaReads  int
-	ReplicaWrites int
+}
+
+// Reads returns the read I/Os charged so far (attempts included).
+func (d *Device) Reads() int { return int(d.reads.Load()) }
+
+// Writes returns the write I/Os charged so far (attempts included).
+func (d *Device) Writes() int { return int(d.writes.Load()) }
+
+// FailedReads counts individual read attempts that faulted.
+func (d *Device) FailedReads() int { return int(d.failedReads.Load()) }
+
+// FailedWrites counts individual write attempts that faulted.
+func (d *Device) FailedWrites() int { return int(d.failedWrites.Load()) }
+
+// SlowIOs counts attempts that saw injected latency.
+func (d *Device) SlowIOs() int { return int(d.slowIOs.Load()) }
+
+// ReplicaReads counts reads that exhausted their retries and fell back
+// to the (always-intact) replica.
+func (d *Device) ReplicaReads() int { return int(d.replicaReads.Load()) }
+
+// ReplicaWrites is ReplicaReads' write-side twin.
+func (d *Device) ReplicaWrites() int { return int(d.replicaWrite.Load()) }
+
+// DeviceCounters is a point-in-time copy of every Device counter.
+type DeviceCounters struct {
+	Reads, Writes             int
+	FailedReads, FailedWrites int
+	SlowIOs                   int
+	ReplicaReads              int
+	ReplicaWrites             int
+}
+
+// Counters returns a snapshot of all counters. Each value is exact and
+// monotonic; under concurrent load the fields are read one after
+// another, so the snapshot is consistent only in the sense that every
+// field is some value the counter actually held.
+func (d *Device) Counters() DeviceCounters {
+	return DeviceCounters{
+		Reads:         d.Reads(),
+		Writes:        d.Writes(),
+		FailedReads:   d.FailedReads(),
+		FailedWrites:  d.FailedWrites(),
+		SlowIOs:       d.SlowIOs(),
+		ReplicaReads:  d.ReplicaReads(),
+		ReplicaWrites: d.ReplicaWrites(),
+	}
 }
 
 // read charges blocks of read I/O and returns the injected outcome.
 func (d *Device) read(blocks int) error {
-	d.Reads += blocks
-	return d.outcome(&d.FailedReads)
+	d.reads.Add(int64(blocks))
+	return d.outcome(&d.failedReads)
 }
 
 // write charges blocks of write I/O and returns the injected outcome.
 func (d *Device) write(blocks int) error {
-	d.Writes += blocks
-	return d.outcome(&d.FailedWrites)
+	d.writes.Add(int64(blocks))
+	return d.outcome(&d.failedWrites)
 }
 
-func (d *Device) outcome(failed *int) error {
+func (d *Device) outcome(failed *atomic.Int64) error {
 	if d.Faults == nil {
 		return nil
 	}
 	o := d.Faults.Next()
 	if o.Latency > 0 {
-		d.SlowIOs++
+		d.slowIOs.Add(1)
 	}
 	if o.Err != nil {
-		*failed++
+		failed.Add(1)
 		return o.Err
 	}
 	if o.FlipBit >= 0 {
-		*failed++
+		failed.Add(1)
 		return fault.ErrCorrupt
 	}
 	return nil
@@ -140,7 +205,9 @@ const (
 
 // Options configure a Store.
 type Options struct {
-	MemtableSize int          // entries buffered before flush (default 1024)
+	// MemtableSize is the flush trigger: entries buffered in the active
+	// memtable before it is frozen and flushed (default 1024).
+	MemtableSize int
 	SizeRatio    int          // level capacity ratio T (default 4)
 	Policy       FilterPolicy // default PolicyBloom
 	BitsPerKey   float64      // Bloom budget per key (default 10)
@@ -151,6 +218,20 @@ type Options struct {
 	RangeFilter RangeFilterBuilder
 	// Compaction selects the merge strategy (default Leveling).
 	Compaction CompactionPolicy
+	// Background enables the background flush/compaction engine: Put and
+	// Delete hand full memtables to a dedicated goroutine instead of
+	// flushing inline, and writers stall only when the L0 backlog
+	// exceeds L0RunBudget. Leave it false (the default) for
+	// deterministic experiment replay: the synchronous engine performs
+	// the exact same I/O in the exact same order on every run. Stores
+	// with Background set should be Closed when done.
+	Background bool
+	// L0RunBudget is the write-stall threshold for Background mode: a
+	// Put stalls while flush work is pending and the number of frozen
+	// memtables plus level-0 runs exceeds this budget (default 8; zero
+	// selects the default, negative is rejected by NewStore). It is
+	// ignored in synchronous mode, where the backlog never exceeds one.
+	L0RunBudget int
 	// DeviceFaults, when set, is installed on the store's Device so data
 	// block I/O fails per its schedule.
 	DeviceFaults *fault.Injector
@@ -177,6 +258,37 @@ func (o *Options) fill() {
 	if o.MonkeyBaseFPR == 0 {
 		o.MonkeyBaseFPR = 0.01
 	}
+	if o.L0RunBudget == 0 {
+		o.L0RunBudget = 8
+	}
+}
+
+// validate rejects option values the level arithmetic or the flush
+// engine cannot operate under. Zero values mean "use the default" and
+// are filled before validation.
+func (o *Options) validate() error {
+	if o.MemtableSize < 0 {
+		return fmt.Errorf("lsm: MemtableSize %d must be positive", o.MemtableSize)
+	}
+	if o.SizeRatio < 0 || o.SizeRatio == 1 {
+		return fmt.Errorf("lsm: SizeRatio %d must be at least 2", o.SizeRatio)
+	}
+	if o.BitsPerKey < 0 {
+		return fmt.Errorf("lsm: BitsPerKey %v must be positive", o.BitsPerKey)
+	}
+	if o.MonkeyBaseFPR < 0 || o.MonkeyBaseFPR >= 1 {
+		return fmt.Errorf("lsm: MonkeyBaseFPR %v must be in (0, 1)", o.MonkeyBaseFPR)
+	}
+	if o.Policy < PolicyNone || o.Policy > PolicyMaplet {
+		return fmt.Errorf("lsm: unknown FilterPolicy %d", o.Policy)
+	}
+	if o.Compaction < Leveling || o.Compaction > LazyLeveling {
+		return fmt.Errorf("lsm: unknown CompactionPolicy %d", o.Compaction)
+	}
+	if o.L0RunBudget < 0 {
+		return fmt.Errorf("lsm: L0RunBudget %d must be positive (zero selects the default)", o.L0RunBudget)
+	}
+	return nil
 }
 
 // run is an immutable sorted run.
@@ -200,50 +312,157 @@ func (r *run) find(key uint64) (Entry, bool) {
 	return Entry{}, false
 }
 
-// Store is the LSM-tree.
-type Store struct {
-	opts     Options
-	memtable map[uint64]Entry
-	levels   [][]*run // levels[i] holds the runs of level i, newest first
-	dev      *Device
-	maplet   *quotient.Maplet
-	runByID  map[uint64]*run
-	// Run ids are recycled from a small pool so they always fit the
-	// maplet's 16-bit value width no matter how many flushes occur.
-	freeIDs []uint64
-	nextID  uint64
-	// FilterProbes counts filter consultations (CPU-cost diagnostic).
-	FilterProbes int
-	// FilterFallbacks counts lookups where a faulted filter probe forced
-	// the store to probe runs directly (degraded mode).
-	FilterFallbacks int
-	// ioRetry retries faulted device I/O before replica recovery.
-	ioRetry *fault.Retrier
+// memRun is a frozen memtable: immutable once published in a view,
+// awaiting its flush into a level-0 run.
+type memRun struct {
+	entries map[uint64]Entry
 }
 
-// New returns an empty store.
-func New(opts Options) *Store {
+// view is the immutable read snapshot: the frozen memtables (newest
+// first) plus the complete level/run tree. Readers load it from an
+// atomic pointer and probe it without locks; every structural change
+// (freeze, flush, compaction, reopen) publishes a fresh view under the
+// store mutex.
+type view struct {
+	frozen []*memRun
+	levels [][]*run // levels[i] holds the runs of level i, newest first
+}
+
+// Store is the LSM-tree. It is safe for concurrent use; see the
+// package comment and DESIGN.md §8 for the concurrency model.
+type Store struct {
+	opts Options
+	dev  *Device
+
+	// mu guards the active memtable and serializes view publication;
+	// readers take it only in read mode and only to consult the active
+	// memtable. cond (on mu) wakes write-stalled Puts and synchronous
+	// Flushes when the engine publishes progress.
+	mu   sync.RWMutex
+	cond *sync.Cond
+	mem  map[uint64]Entry
+	view atomic.Pointer[view]
+
+	// Engine state: the mutable level tree. It is owned by whichever
+	// goroutine is flushing — the background worker in Background mode,
+	// or a caller holding mu's write lock in synchronous mode — and is
+	// never read by queries (they use the published view).
+	tree        [][]*run
+	runByID     map[uint64]*run
+	retired     []*run // Background mode: runs awaiting post-publish retirement
+	deferRetire bool
+
+	// Run ids are recycled from a small pool so they always fit the
+	// maplet's 16-bit value width no matter how many flushes occur.
+	// idMu guards the pool so Save can snapshot it mid-compaction.
+	idMu    sync.Mutex
+	freeIDs []uint64
+	nextID  uint64
+
+	maplet *mapletIndex
+
+	filterProbes    atomic.Int64
+	filterFallbacks atomic.Int64
+
+	// ioRetry retries faulted device I/O before replica recovery.
+	ioRetry *fault.Retrier
+
+	// Background engine plumbing.
+	bg        bool // cleared by Close; guarded by mu
+	flushCh   chan struct{}
+	ctx       context.Context
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewStore returns an empty store, or an error when the options are
+// invalid (negative sizes, a size ratio of one, an L0 run budget that
+// could never admit a write, an unknown policy...).
+func NewStore(opts Options) (*Store, error) {
 	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	retry := fault.RetryPolicy{MaxAttempts: 4, Sleep: fault.NoSleep}
 	if opts.DeviceRetry != nil {
 		retry = *opts.DeviceRetry
 	}
 	s := &Store{
-		opts:     opts,
-		memtable: make(map[uint64]Entry),
-		dev:      &Device{Faults: opts.DeviceFaults},
-		runByID:  make(map[uint64]*run),
-		ioRetry:  fault.NewRetrier(retry),
+		opts:    opts,
+		mem:     make(map[uint64]Entry),
+		dev:     &Device{Faults: opts.DeviceFaults},
+		runByID: make(map[uint64]*run),
+		ioRetry: fault.NewRetrier(retry),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if opts.Policy == PolicyMaplet {
 		// 16-bit run ids; sized generously and expanded on demand.
-		s.maplet = quotient.NewMaplet(12, 12, 16)
+		s.maplet = newMapletIndex(quotient.NewMaplet(12, 12, 16))
+	}
+	s.view.Store(&view{})
+	if opts.Background {
+		s.startBackground()
+	}
+	return s, nil
+}
+
+// New returns an empty store, panicking on invalid options. Use
+// NewStore to handle configuration errors gracefully.
+func New(opts Options) *Store {
+	s, err := NewStore(opts)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
 
+// startBackground launches the flush/compaction worker.
+func (s *Store) startBackground() {
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.flushCh = make(chan struct{}, 1)
+	s.bg = true
+	s.deferRetire = true
+	s.wg.Add(1)
+	go s.flusher()
+}
+
+// Close stops the background engine, draining any pending flush work
+// first. It is a no-op for synchronous stores and idempotent. After
+// Close the store remains usable in synchronous mode: subsequent Puts
+// flush inline.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		running := s.bg
+		s.mu.Unlock()
+		if !running {
+			return
+		}
+		s.cancel()
+		s.signalFlush() // wake the worker if it is idle
+		s.wg.Wait()
+		s.mu.Lock()
+		s.bg = false
+		s.deferRetire = false
+		// The worker drained everything before exiting, but wake any
+		// stalled writer or waiting Flush so it re-checks under the new
+		// (synchronous) regime.
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	return nil
+}
+
 // Device exposes the I/O counters.
 func (s *Store) Device() *Device { return s.dev }
+
+// FilterProbes counts filter consultations (CPU-cost diagnostic).
+func (s *Store) FilterProbes() int { return int(s.filterProbes.Load()) }
+
+// FilterFallbacks counts lookups where a faulted filter probe forced
+// the store to probe runs directly (degraded mode).
+func (s *Store) FilterFallbacks() int { return int(s.filterFallbacks.Load()) }
 
 // devRead performs a fallible read of blocks: faulted attempts are
 // retried (each attempt pays its I/O), and exhausted retries recover
@@ -253,8 +472,8 @@ func (s *Store) devRead(blocks int) {
 	if err := s.ioRetry.Do(context.Background(), func(context.Context) error {
 		return s.dev.read(blocks)
 	}); err != nil {
-		s.dev.Reads += blocks
-		s.dev.ReplicaReads++
+		s.dev.reads.Add(int64(blocks))
+		s.dev.replicaReads.Add(1)
 	}
 }
 
@@ -263,8 +482,8 @@ func (s *Store) devWrite(blocks int) {
 	if err := s.ioRetry.Do(context.Background(), func(context.Context) error {
 		return s.dev.write(blocks)
 	}); err != nil {
-		s.dev.Writes += blocks
-		s.dev.ReplicaWrites++
+		s.dev.writes.Add(int64(blocks))
+		s.dev.replicaWrite.Add(1)
 	}
 }
 
@@ -272,10 +491,10 @@ func (s *Store) devWrite(blocks int) {
 // usable is false when the probe faulted (the caller must treat the run
 // as maybe-containing and pay the data I/O).
 func (s *Store) probeFilter(contains func() bool) (ok, usable bool) {
-	s.FilterProbes++
+	s.filterProbes.Add(1)
 	if s.opts.FilterFaults != nil {
 		if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
-			s.FilterFallbacks++
+			s.filterFallbacks.Add(1)
 			return false, false
 		}
 	}
@@ -284,570 +503,174 @@ func (s *Store) probeFilter(contains func() bool) (ok, usable bool) {
 
 // Put inserts or updates a key.
 func (s *Store) Put(key, value uint64) {
-	s.memtable[key] = Entry{Key: key, Value: value}
-	s.maybeFlush()
+	s.write(Entry{Key: key, Value: value})
 }
 
 // Delete removes a key (via tombstone).
 func (s *Store) Delete(key uint64) {
-	s.memtable[key] = Entry{Key: key, Tombstone: true}
-	s.maybeFlush()
+	s.write(Entry{Key: key, Tombstone: true})
 }
 
-func (s *Store) maybeFlush() {
-	if len(s.memtable) >= s.opts.MemtableSize {
-		s.Flush()
+// write applies one mutation: stall if the flush backlog is over
+// budget, insert into the active memtable, and freeze it at the flush
+// trigger. The frozen memtable is flushed inline (synchronous mode) or
+// handed to the background worker.
+func (s *Store) write(e Entry) {
+	s.mu.Lock()
+	for s.bg && s.stalledLocked() {
+		s.cond.Wait()
 	}
-}
-
-// Flush writes the memtable as a new level-0 run and cascades
-// compactions.
-func (s *Store) Flush() {
-	if len(s.memtable) == 0 {
+	s.mem[e.Key] = e
+	if len(s.mem) < s.opts.MemtableSize {
+		s.mu.Unlock()
 		return
 	}
-	entries := make([]Entry, 0, len(s.memtable))
-	for _, e := range s.memtable {
-		entries = append(entries, e)
+	s.freezeLocked()
+	if s.bg {
+		s.mu.Unlock()
+		s.signalFlush()
+		return
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	s.memtable = make(map[uint64]Entry)
-	s.pushRun(entries, 0)
-	s.compact()
+	s.drainLocked()
+	s.mu.Unlock()
 }
 
-// levelCapacity returns the entry capacity of level i.
-func (s *Store) levelCapacity(level int) int {
-	c := s.opts.MemtableSize
-	for i := 0; i <= level; i++ {
-		c *= s.opts.SizeRatio
+// stalledLocked reports whether a writer must wait for the engine:
+// flush work is pending and the backlog (frozen memtables plus level-0
+// runs) exceeds the configured budget.
+func (s *Store) stalledLocked() bool {
+	v := s.view.Load()
+	if len(v.frozen) == 0 {
+		return false
 	}
-	return c
+	l0 := 0
+	if len(v.levels) > 0 {
+		l0 = len(v.levels[0])
+	}
+	return len(v.frozen)+l0 > s.opts.L0RunBudget
 }
 
-// ensureLevel grows the level slice.
-func (s *Store) ensureLevel(level int) {
-	for len(s.levels) <= level {
-		s.levels = append(s.levels, nil)
+// freezeLocked publishes the active memtable as a frozen memtable
+// (newest first) and replaces it with an empty one. Callers hold mu.
+func (s *Store) freezeLocked() {
+	if len(s.mem) == 0 {
+		return
+	}
+	fm := &memRun{entries: s.mem}
+	s.mem = make(map[uint64]Entry)
+	v := s.view.Load()
+	frozen := make([]*memRun, 0, len(v.frozen)+1)
+	frozen = append(frozen, fm)
+	frozen = append(frozen, v.frozen...)
+	s.view.Store(&view{frozen: frozen, levels: v.levels})
+}
+
+// signalFlush nudges the background worker (non-blocking: the worker
+// re-scans the frozen backlog on every wakeup, so one pending signal
+// covers any number of freezes).
+func (s *Store) signalFlush() {
+	select {
+	case s.flushCh <- struct{}{}:
+	default:
 	}
 }
 
-// pushRun installs entries at the given level. Under Leveling (or at the
-// last level under LazyLeveling) the new entries merge with the level's
-// existing run; otherwise the run is appended, newest first.
-func (s *Store) pushRun(entries []Entry, level int) {
-	s.ensureLevel(level)
-	// Lazy leveling merges only at the largest level, and never at level
-	// 0 (before any compaction has opened deeper levels, level 0 is
-	// trivially "last" and merging there would rewrite it every flush).
-	merge := s.opts.Compaction == Leveling ||
-		(s.opts.Compaction == LazyLeveling && level > 0 && s.isLastDataLevel(level))
-	if merge && len(s.levels[level]) > 0 {
-		for _, old := range s.levels[level] {
-			entries = s.mergeEntries(entries, old.entries, s.isLastDataLevel(level))
-			s.devRead((len(old.entries) + entriesPerBlock - 1) / entriesPerBlock)
-			s.retireRun(old)
-		}
-		s.levels[level] = nil
+// Flush forces the memtable down to level 0 and waits until every
+// frozen memtable has been flushed and compacted. In synchronous mode
+// this happens inline; in Background mode it blocks until the worker
+// drains the backlog.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	s.freezeLocked()
+	if !s.bg {
+		s.drainLocked()
+		s.mu.Unlock()
+		return
 	}
-	r := s.buildRun(entries, level)
-	s.levels[level] = append([]*run{r}, s.levels[level]...)
+	s.mu.Unlock()
+	s.signalFlush()
+	s.mu.Lock()
+	for s.bg && len(s.view.Load().frozen) > 0 {
+		s.cond.Wait()
+	}
+	if !s.bg {
+		// The engine shut down under us (concurrent Close): finish the
+		// backlog inline.
+		s.drainLocked()
+	}
+	s.mu.Unlock()
 }
 
-// isLastDataLevel reports whether no deeper level currently holds data.
-func (s *Store) isLastDataLevel(level int) bool {
-	for i := level + 1; i < len(s.levels); i++ {
-		if len(s.levels[i]) > 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// levelEntries counts entries across a level's runs.
-func (s *Store) levelEntries(level int) int {
-	n := 0
-	for _, r := range s.levels[level] {
-		n += len(r.entries)
-	}
-	return n
-}
-
-// mergeEntries merges newer over older; tombstones survive unless this is
-// the last level.
-func (s *Store) mergeEntries(newer, older []Entry, lastLevel bool) []Entry {
-	out := make([]Entry, 0, len(newer)+len(older))
-	i, j := 0, 0
-	for i < len(newer) || j < len(older) {
-		var e Entry
-		switch {
-		case i >= len(newer):
-			e = older[j]
-			j++
-		case j >= len(older):
-			e = newer[i]
-			i++
-		case newer[i].Key < older[j].Key:
-			e = newer[i]
-			i++
-		case newer[i].Key > older[j].Key:
-			e = older[j]
-			j++
-		default:
-			e = newer[i] // newer wins
-			i++
-			j++
-		}
-		if e.Tombstone && lastLevel {
-			continue
-		}
-		out = append(out, e)
-	}
-	return out
-}
-
-// buildRun constructs the run plus its filters, charging write I/O.
-func (s *Store) buildRun(entries []Entry, level int) *run {
-	var id uint64
-	if n := len(s.freeIDs); n > 0 {
-		id = s.freeIDs[n-1]
-		s.freeIDs = s.freeIDs[:n-1]
-	} else {
-		s.nextID++
-		if s.nextID >= 1<<16 {
-			panic("lsm: run id space exhausted")
-		}
-		id = s.nextID
-	}
-	r := &run{id: id, entries: entries, level: level}
-	s.devWrite((len(entries) + entriesPerBlock - 1) / entriesPerBlock)
-	keys := make([]uint64, len(entries))
-	for i, e := range entries {
-		keys[i] = e.Key
-	}
-	switch s.opts.Policy {
-	case PolicyBloom:
-		bf := bloom.NewBits(len(entries), s.opts.BitsPerKey)
-		for _, k := range keys {
-			bf.Insert(k)
-		}
-		r.filter = bf
-	case PolicyMonkey:
-		fpr := s.monkeyFPR(level)
-		bf := bloom.New(len(entries), fpr)
-		for _, k := range keys {
-			bf.Insert(k)
-		}
-		r.filter = bf
-	case PolicyMaplet:
-		for _, k := range keys {
-			s.mapletPut(k, r.id)
-		}
-	}
-	if s.opts.RangeFilter != nil {
-		r.rangeF = s.opts.RangeFilter(keys)
-	}
-	s.runByID[r.id] = r
-	return r
-}
-
-// monkeyFPR returns the Monkey-assigned false-positive rate for a level:
-// the largest level pays MonkeyBaseFPR; each smaller level pays a factor
-// T less, so the series sums to ≈ base·T/(T-1) = O(base).
-func (s *Store) monkeyFPR(level int) float64 {
-	depth := len(s.levels) - 1 - level
-	if depth < 0 {
-		depth = 0
-	}
-	fpr := s.opts.MonkeyBaseFPR
-	for i := 0; i < depth; i++ {
-		fpr /= float64(s.opts.SizeRatio)
-	}
-	if fpr < 1e-9 {
-		fpr = 1e-9
-	}
-	return fpr
-}
-
-func (s *Store) mapletPut(key, runID uint64) {
+// flusher is the background engine: woken by signalFlush (or shutdown),
+// it drains the frozen-memtable backlog, cascading compactions and
+// publishing a fresh view after each flush.
+func (s *Store) flusher() {
+	defer s.wg.Done()
 	for {
-		if err := s.maplet.Put(key, runID); err == nil {
+		select {
+		case <-s.ctx.Done():
+			s.drainBackground()
+			return
+		case <-s.flushCh:
+			s.drainBackground()
+		}
+	}
+}
+
+// drainBackground flushes every pending frozen memtable, oldest first.
+// Engine work (merging, filter builds, device I/O) runs without mu;
+// only the view publication takes the write lock.
+func (s *Store) drainBackground() {
+	for {
+		v := s.view.Load()
+		if len(v.frozen) == 0 {
 			return
 		}
-		if err := s.maplet.Expand(); err != nil {
-			panic(fmt.Sprintf("lsm: maplet cannot expand: %v", err))
-		}
+		fm := v.frozen[len(v.frozen)-1] // oldest
+		s.flushMem(fm)
+		s.compact()
+		s.mu.Lock()
+		s.publishLocked(fm)
+		s.mu.Unlock()
+		s.finishRetired()
 	}
 }
 
-// retireRun removes a run's maplet entries (compaction superseded it)
-// and recycles its id.
-func (s *Store) retireRun(old *run) {
-	delete(s.runByID, old.id)
-	s.freeIDs = append(s.freeIDs, old.id)
-	if s.maplet == nil {
-		return
-	}
-	for _, e := range old.entries {
-		// The entry may have been re-pointed already; delete is best
-		// effort keyed by (key, old run id).
-		_ = s.maplet.Delete(e.Key, old.id)
+// drainLocked is the synchronous twin: callers hold mu's write lock for
+// the whole flush+compact+publish sequence, so the I/O order is exactly
+// the single-threaded engine's.
+func (s *Store) drainLocked() {
+	for {
+		v := s.view.Load()
+		if len(v.frozen) == 0 {
+			return
+		}
+		fm := v.frozen[len(v.frozen)-1]
+		s.flushMem(fm)
+		s.compact()
+		s.publishLocked(fm)
 	}
 }
 
-// compact cascades oversized levels downward. Leveling moves a level's
-// single run down when it outgrows its capacity; tiering merges a
-// level's T runs into one run a level down once T accumulate.
-func (s *Store) compact() {
-	for level := 0; level < len(s.levels); level++ {
-		switch s.opts.Compaction {
-		case Leveling:
-			if s.levelEntries(level) <= s.levelCapacity(level) {
-				continue
-			}
-			runs := s.levels[level]
-			s.levels[level] = nil
-			merged := s.drainRuns(runs, s.isLastDataLevel(level))
-			s.pushRun(merged, level+1)
-		case Tiering:
-			if len(s.levels[level]) < s.opts.SizeRatio {
-				continue
-			}
-			runs := s.levels[level]
-			s.levels[level] = nil
-			merged := s.drainRuns(runs, s.isLastDataLevel(level))
-			s.pushRun(merged, level+1)
-		case LazyLeveling:
-			// Tier every level except the largest; the largest spills to
-			// a fresh deeper level when it outgrows its capacity.
-			if level > 0 && s.isLastDataLevel(level) {
-				if s.levelEntries(level) <= s.levelCapacity(level) {
-					continue
-				}
-			} else if len(s.levels[level]) < s.opts.SizeRatio {
-				continue
-			}
-			runs := s.levels[level]
-			s.levels[level] = nil
-			merged := s.drainRuns(runs, s.isLastDataLevel(level))
-			s.pushRun(merged, level+1)
-		}
-	}
-}
-
-// drainRuns merges runs (newest first) into one entry list, retiring
-// them and charging the read I/O of the rewrite.
-func (s *Store) drainRuns(runs []*run, lastLevel bool) []Entry {
-	var merged []Entry
-	for i, r := range runs {
-		s.devRead((len(r.entries) + entriesPerBlock - 1) / entriesPerBlock)
-		if i == 0 {
-			merged = append(merged, r.entries...)
-		} else {
-			merged = s.mergeEntries(merged, r.entries, lastLevel)
-		}
-		s.retireRun(r)
-	}
-	return merged
-}
-
-// Get returns the value for key. The boolean reports presence.
-func (s *Store) Get(key uint64) (uint64, bool) {
-	if e, ok := s.memtable[key]; ok {
-		return e.Value, !e.Tombstone
-	}
-	if s.opts.Policy == PolicyMaplet {
-		return s.mapletGet(key)
-	}
-	for level := 0; level < len(s.levels); level++ {
-		for _, r := range s.levels[level] { // newest first
-			if len(r.entries) == 0 || key < r.minKey() || key > r.maxKey() {
-				continue
-			}
-			if r.filter != nil {
-				// A faulted filter probe cannot rule the run out, so the
-				// lookup degrades to paying the data I/O.
-				if ok, usable := s.probeFilter(func() bool { return r.filter.Contains(key) }); usable && !ok {
-					continue
-				}
-			}
-			s.devRead(1)
-			if e, ok := r.find(key); ok {
-				return e.Value, !e.Tombstone
+// publishLocked installs a fresh view: the current frozen backlog minus
+// the consumed memtable, plus a snapshot of the engine's tree. Callers
+// hold mu's write lock.
+func (s *Store) publishLocked(consumed *memRun) {
+	v := s.view.Load()
+	frozen := v.frozen
+	if consumed != nil {
+		kept := make([]*memRun, 0, len(frozen))
+		for _, fm := range frozen {
+			if fm != consumed {
+				kept = append(kept, fm)
 			}
 		}
+		frozen = kept
 	}
-	return 0, false
-}
-
-// GetBatch performs a batch of point lookups, writing the value and
-// presence of keys[i] into values[i] and found[i] (both must be at
-// least len(keys) long). Results and I/O accounting are identical to
-// calling Get per key; the win is on the filter side: each run's filter
-// is probed with the whole surviving key batch through its native
-// batched path (hash-once/probe-many) before any data block is touched,
-// instead of re-entering the filter once per key.
-func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
-	_ = values[:len(keys)]
-	_ = found[:len(keys)]
-	pending := make([]int32, 0, len(keys))
-	for i, k := range keys {
-		values[i], found[i] = 0, false
-		if e, ok := s.memtable[k]; ok {
-			values[i], found[i] = e.Value, !e.Tombstone
-			continue
-		}
-		pending = append(pending, int32(i))
+	levels := make([][]*run, len(s.tree))
+	for i, level := range s.tree {
+		levels[i] = append([]*run(nil), level...)
 	}
-	if len(pending) == 0 {
-		return
-	}
-	if s.opts.Policy == PolicyMaplet {
-		// The maplet is a point structure routing each key to ~one run;
-		// there is no per-run filter to amortize, so the batch devolves
-		// to the scalar path per key.
-		for _, i := range pending {
-			values[i], found[i] = s.mapletGet(keys[i])
-		}
-		return
-	}
-	// Scratch for the per-run sub-batches. inRange holds the pending
-	// batch positions whose key falls in the run's key range; probeKeys/
-	// probeOut hold the (smaller) sub-batch whose filter probe was
-	// usable; resolved marks batch positions answered by some run.
-	inRange := make([]int32, 0, len(pending))
-	mustProbe := make([]bool, 0, len(pending))
-	probeKeys := make([]uint64, 0, len(pending))
-	probeOut := make([]bool, len(pending))
-	resolved := make([]bool, len(keys))
-	for level := 0; level < len(s.levels) && len(pending) > 0; level++ {
-		for _, r := range s.levels[level] { // newest first
-			if len(pending) == 0 {
-				break
-			}
-			if len(r.entries) == 0 {
-				continue
-			}
-			minK, maxK := r.minKey(), r.maxKey()
-			inRange = inRange[:0]
-			for _, i := range pending {
-				if k := keys[i]; k >= minK && k <= maxK {
-					inRange = append(inRange, i)
-				}
-			}
-			if len(inRange) == 0 {
-				continue
-			}
-			// Filter pass: judge each key's probe (fault injection is
-			// per probe, as in the scalar path), then answer all usable
-			// probes with one batched filter call. mustProbe[j] records
-			// that inRange[j] needs the data I/O regardless.
-			mustProbe = mustProbe[:len(inRange)]
-			if r.filter != nil {
-				probeKeys = probeKeys[:0]
-				for j, i := range inRange {
-					s.FilterProbes++
-					usable := true
-					if s.opts.FilterFaults != nil {
-						if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
-							s.FilterFallbacks++
-							usable = false
-						}
-					}
-					mustProbe[j] = !usable
-					if usable {
-						probeKeys = append(probeKeys, keys[i])
-					}
-				}
-				core.ContainsBatch(r.filter, probeKeys, probeOut[:len(probeKeys)])
-				p := 0
-				for j := range inRange {
-					if !mustProbe[j] {
-						mustProbe[j] = probeOut[p]
-						p++
-					}
-				}
-			} else {
-				for j := range mustProbe {
-					mustProbe[j] = true
-				}
-			}
-			// Data pass: pay one read per surviving key, resolve hits.
-			resolvedAny := false
-			for j, i := range inRange {
-				if !mustProbe[j] {
-					continue
-				}
-				s.devRead(1)
-				if e, ok := r.find(keys[i]); ok {
-					values[i], found[i] = e.Value, !e.Tombstone
-					resolved[i] = true
-					resolvedAny = true
-				}
-			}
-			if resolvedAny {
-				next := pending[:0]
-				for _, i := range pending {
-					if !resolved[i] {
-						next = append(next, i)
-					}
-				}
-				pending = next
-			}
-		}
-	}
-}
-
-// mapletGet probes only the runs the global maplet points to. When the
-// maplet block itself cannot be read, the lookup degrades to probing
-// every overlapping run (the PolicyNone cost) rather than failing.
-func (s *Store) mapletGet(key uint64) (uint64, bool) {
-	s.FilterProbes++
-	if s.opts.FilterFaults != nil {
-		if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
-			s.FilterFallbacks++
-			return s.probeAllRuns(key)
-		}
-	}
-	candidates := s.maplet.Get(key)
-	// Probe newer runs first (higher id = newer).
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] > candidates[j] })
-	seen := map[uint64]bool{}
-	for _, id := range candidates {
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		r, ok := s.runByID[id]
-		if !ok {
-			continue // stale pointer from a fingerprint collision
-		}
-		s.devRead(1)
-		if e, ok := r.find(key); ok {
-			return e.Value, !e.Tombstone
-		}
-	}
-	return 0, false
-}
-
-// probeAllRuns is the filterless fallback: binary-search every run whose
-// key range covers key, newest first, paying one read per probed run.
-func (s *Store) probeAllRuns(key uint64) (uint64, bool) {
-	for level := 0; level < len(s.levels); level++ {
-		for _, r := range s.levels[level] { // newest first
-			if len(r.entries) == 0 || key < r.minKey() || key > r.maxKey() {
-				continue
-			}
-			s.devRead(1)
-			if e, ok := r.find(key); ok {
-				return e.Value, !e.Tombstone
-			}
-		}
-	}
-	return 0, false
-}
-
-// Scan returns all live entries with keys in [lo, hi], using range
-// filters (when configured) to skip runs.
-func (s *Store) Scan(lo, hi uint64) []Entry {
-	// Sources in newest-first order: memtable, then levels top-down.
-	// First writer per key wins.
-	var sources [][]Entry
-	var mem []Entry
-	for k, e := range s.memtable {
-		if k >= lo && k <= hi {
-			mem = append(mem, e)
-		}
-	}
-	sources = append(sources, mem)
-	for level := 0; level < len(s.levels); level++ {
-		for _, r := range s.levels[level] { // newest first
-			if len(r.entries) == 0 || hi < r.minKey() || lo > r.maxKey() {
-				continue
-			}
-			if r.rangeF != nil {
-				if ok, usable := s.probeFilter(func() bool { return r.rangeF.MayContainRange(lo, hi) }); usable && !ok {
-					continue
-				}
-			}
-			s.devRead(1)
-			i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key >= lo })
-			j := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key > hi })
-			sources = append(sources, r.entries[i:j])
-		}
-	}
-	merged := map[uint64]Entry{}
-	for _, entries := range sources {
-		for _, e := range entries {
-			if _, ok := merged[e.Key]; !ok {
-				merged[e.Key] = e
-			}
-		}
-	}
-	out := make([]Entry, 0, len(merged))
-	for _, e := range merged {
-		if !e.Tombstone {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
-}
-
-// Levels returns the number of allocated levels.
-func (s *Store) Levels() int { return len(s.levels) }
-
-// Runs returns the total number of live runs (reads probe up to this
-// many under tiering).
-func (s *Store) Runs() int {
-	n := 0
-	for _, level := range s.levels {
-		n += len(level)
-	}
-	return n
-}
-
-// FilterMemoryBits returns the total filter footprint (per-run filters or
-// the global maplet).
-func (s *Store) FilterMemoryBits() int {
-	if s.maplet != nil {
-		return s.maplet.SizeBits()
-	}
-	total := 0
-	for _, level := range s.levels {
-		for _, r := range level {
-			if r.filter != nil {
-				total += r.filter.SizeBits()
-			}
-		}
-	}
-	return total
-}
-
-// Len returns the number of live entries (exact; walks all runs).
-func (s *Store) Len() int {
-	keys := map[uint64]bool{}
-	for k, e := range s.memtable {
-		if !e.Tombstone {
-			keys[k] = true
-		} else {
-			keys[k] = false
-		}
-	}
-	for level := 0; level < len(s.levels); level++ {
-		for _, r := range s.levels[level] { // newest first
-			for _, e := range r.entries {
-				if _, ok := keys[e.Key]; !ok {
-					keys[e.Key] = !e.Tombstone
-				}
-			}
-		}
-	}
-	n := 0
-	for _, live := range keys {
-		if live {
-			n++
-		}
-	}
-	return n
+	s.view.Store(&view{frozen: frozen, levels: levels})
+	s.cond.Broadcast()
 }

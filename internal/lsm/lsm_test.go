@@ -111,11 +111,11 @@ func TestFiltersReduceMissIO(t *testing.T) {
 		s := New(Options{Policy: policy, MemtableSize: 256, BitsPerKey: 10})
 		fillStore(t, s, 50000, 5)
 		s.Flush()
-		before := s.Device().Reads
+		before := s.Device().Reads()
 		for _, k := range miss {
 			s.Get(k)
 		}
-		ios[policy] = s.Device().Reads - before
+		ios[policy] = s.Device().Reads() - before
 	}
 	if ios[PolicyNone] <= ios[PolicyBloom]*5 {
 		t.Errorf("no-filter I/O %d not far above bloom %d", ios[PolicyNone], ios[PolicyBloom])
@@ -132,14 +132,14 @@ func TestHitCostNearOne(t *testing.T) {
 	s := New(Options{Policy: PolicyMaplet, MemtableSize: 256})
 	keys := fillStore(t, s, 30000, 9)
 	s.Flush()
-	before := s.Device().Reads
+	before := s.Device().Reads()
 	probes := keys[:5000]
 	for _, k := range probes {
 		if _, ok := s.Get(k); !ok {
 			t.Fatalf("lost key %d", k)
 		}
 	}
-	perGet := float64(s.Device().Reads-before) / float64(len(probes))
+	perGet := float64(s.Device().Reads()-before) / float64(len(probes))
 	if perGet > 1.2 {
 		t.Errorf("maplet hit cost %f I/Os per get, want ≈1", perGet)
 	}
@@ -180,7 +180,7 @@ func TestScanWithRangeFilterSkipsRuns(t *testing.T) {
 		s.Put(k<<32, k)
 	}
 	s.Flush()
-	before := s.Device().Reads
+	before := s.Device().Reads()
 	// Scan mid-gap, beyond the trie's truncation resolution (the stored
 	// prefixes resolve ~2^24 here): range filters should skip all runs.
 	empties := 0
@@ -191,7 +191,7 @@ func TestScanWithRangeFilterSkipsRuns(t *testing.T) {
 		}
 		empties++
 	}
-	ioPerEmpty := float64(s.Device().Reads-before) / float64(empties)
+	ioPerEmpty := float64(s.Device().Reads()-before) / float64(empties)
 	if ioPerEmpty > 0.2 {
 		t.Errorf("empty scans cost %f I/Os each; range filter should skip runs", ioPerEmpty)
 	}
@@ -329,12 +329,12 @@ func TestTieringWritesLessLevelingReadsLess(t *testing.T) {
 			s.Put(k, uint64(i))
 		}
 		s.Flush()
-		writes[pol] = s.Device().Writes
-		before := s.Device().Reads
+		writes[pol] = s.Device().Writes()
+		before := s.Device().Reads()
 		for _, k := range keys[:5000] {
 			s.Get(k)
 		}
-		readIO[pol] = float64(s.Device().Reads-before) / 5000
+		readIO[pol] = float64(s.Device().Reads()-before) / 5000
 	}
 	if writes[Tiering] >= writes[Leveling] {
 		t.Errorf("tiering writes %d not below leveling %d", writes[Tiering], writes[Leveling])
@@ -353,7 +353,7 @@ func TestLazyLevelingBetweenBoth(t *testing.T) {
 			s.Put(k, uint64(i))
 		}
 		s.Flush()
-		writes[pol] = s.Device().Writes
+		writes[pol] = s.Device().Writes()
 	}
 	if !(writes[Tiering] <= writes[LazyLeveling] && writes[LazyLeveling] <= writes[Leveling]) {
 		t.Errorf("write amp ordering violated: lev=%d lazy=%d tier=%d",

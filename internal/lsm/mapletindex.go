@@ -1,0 +1,71 @@
+package lsm
+
+import (
+	"io"
+	"sync"
+
+	"beyondbloom/internal/quotient"
+)
+
+// mapletIndex makes the global PolicyMaplet maplet safe for concurrent
+// use: compaction mutates it (Put for the new run's keys, Delete for
+// the retired runs') while readers Get from it lock-free of the store
+// mutex. Combined with the engine's retire-after-swap ordering —
+// inserts land before the view swap, deletes after — a reader whose
+// view pointer is unchanged across its maplet read holds candidates
+// covering every run of that view, so the maplet never produces a
+// false negative mid-compaction (mapletGet detects the raced case and
+// retries).
+type mapletIndex struct {
+	mu sync.RWMutex
+	m  *quotient.Maplet
+}
+
+func newMapletIndex(m *quotient.Maplet) *mapletIndex {
+	return &mapletIndex{m: m}
+}
+
+// Get returns the candidate run ids for key.
+func (mi *mapletIndex) Get(key uint64) []uint64 {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	return mi.m.Get(key)
+}
+
+// PutExpanding associates runID with key, expanding the maplet when it
+// is full. The put and any expansions happen under one critical
+// section, so readers never observe a half-built table.
+func (mi *mapletIndex) PutExpanding(key, runID uint64) error {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	for {
+		if err := mi.m.Put(key, runID); err == nil {
+			return nil
+		}
+		if err := mi.m.Expand(); err != nil {
+			return err
+		}
+	}
+}
+
+// Delete removes one (key, runID) association (best effort).
+func (mi *mapletIndex) Delete(key, runID uint64) error {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	return mi.m.Delete(key, runID)
+}
+
+// SizeBits returns the maplet's physical footprint.
+func (mi *mapletIndex) SizeBits() int {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	return mi.m.SizeBits()
+}
+
+// WriteTo serializes the maplet under the read lock, so Save pins a
+// consistent maplet image even mid-compaction.
+func (mi *mapletIndex) WriteTo(w io.Writer) (int64, error) {
+	mi.mu.RLock()
+	defer mi.mu.RUnlock()
+	return mi.m.WriteTo(w)
+}

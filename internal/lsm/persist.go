@@ -85,12 +85,38 @@ type manifestRun struct {
 // sibling frames. Function-valued options (range-filter builders,
 // fault injectors, retry policies) are not persisted — the caller
 // passes them again to OpenStore.
+//
+// Save is safe to call concurrently with queries, writes, and a
+// background compaction: it pins one view under the store mutex and
+// serializes that snapshot. Frozen memtables that have not flushed yet
+// are folded into the saved memtable image (newest writer wins), so no
+// committed entry is lost; the reopened store re-flushes them on its
+// own schedule.
 func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Pin the snapshot: the view plus a copy of the active memtable,
+	// taken under the mutex so no freeze or publish interleaves.
+	s.mu.Lock()
+	v := s.view.Load()
+	mem := make(map[uint64]Entry, len(s.mem))
+	for i := len(v.frozen) - 1; i >= 0; i-- { // oldest first
+		for k, e := range v.frozen[i].entries {
+			mem[k] = e
+		}
+	}
+	for k, e := range s.mem { // the active memtable is newest
+		mem[k] = e
+	}
+	s.mu.Unlock()
+	s.idMu.Lock()
+	nextID := s.nextID
+	freeIDs := append([]uint64(nil), s.freeIDs...)
+	s.idMu.Unlock()
+
 	var runs []*run
-	for _, level := range s.levels {
+	for _, level := range v.levels {
 		runs = append(runs, level...)
 	}
 	errs := make([]error, len(runs))
@@ -122,34 +148,35 @@ func (s *Store) Save(dir string) error {
 	// Device and filter counters: a reopened store resumes accounting
 	// where the saved one stopped, so experiments comparing the two see
 	// identical I/O for identical workloads.
-	e.U64(uint64(s.dev.Reads))
-	e.U64(uint64(s.dev.Writes))
-	e.U64(uint64(s.dev.FailedReads))
-	e.U64(uint64(s.dev.FailedWrites))
-	e.U64(uint64(s.dev.SlowIOs))
-	e.U64(uint64(s.dev.ReplicaReads))
-	e.U64(uint64(s.dev.ReplicaWrites))
-	e.U64(uint64(s.FilterProbes))
-	e.U64(uint64(s.FilterFallbacks))
+	c := s.dev.Counters()
+	e.U64(uint64(c.Reads))
+	e.U64(uint64(c.Writes))
+	e.U64(uint64(c.FailedReads))
+	e.U64(uint64(c.FailedWrites))
+	e.U64(uint64(c.SlowIOs))
+	e.U64(uint64(c.ReplicaReads))
+	e.U64(uint64(c.ReplicaWrites))
+	e.U64(uint64(s.FilterProbes()))
+	e.U64(uint64(s.FilterFallbacks()))
 	// Run id allocation state.
-	e.U64(s.nextID)
-	e.U64s(s.freeIDs)
+	e.U64(nextID)
+	e.U64s(freeIDs)
 	// Memtable, sorted by key for a deterministic encoding.
-	memKeys := make([]uint64, 0, len(s.memtable))
-	for k := range s.memtable {
+	memKeys := make([]uint64, 0, len(mem))
+	for k := range mem {
 		memKeys = append(memKeys, k)
 	}
 	sort.Slice(memKeys, func(i, j int) bool { return memKeys[i] < memKeys[j] })
 	e.U64(uint64(len(memKeys)))
 	for _, k := range memKeys {
-		en := s.memtable[k]
+		en := mem[k]
 		e.U64(en.Key)
 		e.U64(en.Value)
 		e.Bool(en.Tombstone)
 	}
 	// Level structure: run ids in order (newest first within a level).
-	e.U64(uint64(len(s.levels)))
-	for _, level := range s.levels {
+	e.U64(uint64(len(v.levels)))
+	for _, level := range v.levels {
 		e.U64(uint64(len(level)))
 		for _, r := range level {
 			e.U64(r.id)
@@ -285,20 +312,29 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	opts.BitsPerKey = bitsPerKey
 	opts.MonkeyBaseFPR = monkeyBaseFPR
 	opts.Compaction = compaction
-	s := New(opts)
-	s.maplet = maplet
-	s.memtable = memtable
+	// Build the store synchronously and install the loaded state before
+	// starting any background engine, so the worker never races the load.
+	wantBackground := opts.Background
+	opts.Background = false
+	s, err := NewStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	if maplet != nil {
+		s.maplet = newMapletIndex(maplet)
+	}
+	s.mem = memtable
 	s.nextID = nextID
 	s.freeIDs = freeIDs
-	s.dev.Reads = int(counters[0])
-	s.dev.Writes = int(counters[1])
-	s.dev.FailedReads = int(counters[2])
-	s.dev.FailedWrites = int(counters[3])
-	s.dev.SlowIOs = int(counters[4])
-	s.dev.ReplicaReads = int(counters[5])
-	s.dev.ReplicaWrites = int(counters[6])
-	s.FilterProbes = int(counters[7])
-	s.FilterFallbacks = int(counters[8])
+	s.dev.reads.Store(int64(counters[0]))
+	s.dev.writes.Store(int64(counters[1]))
+	s.dev.failedReads.Store(int64(counters[2]))
+	s.dev.failedWrites.Store(int64(counters[3]))
+	s.dev.slowIOs.Store(int64(counters[4]))
+	s.dev.replicaReads.Store(int64(counters[5]))
+	s.dev.replicaWrite.Store(int64(counters[6]))
+	s.filterProbes.Store(int64(counters[7]))
+	s.filterFallbacks.Store(int64(counters[8]))
 
 	// Load every run's files concurrently: each (data, filter) pair is
 	// independent, so reopening a many-run store scales with cores.
@@ -329,15 +365,23 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	s.levels = make([][]*run, numLevels)
+	s.tree = make([][]*run, numLevels)
 	for i, sl := range slots {
 		r := runs[i]
 		s.ensureLevel(sl.level)
-		s.levels[sl.level] = append(s.levels[sl.level], r)
+		s.tree[sl.level] = append(s.tree[sl.level], r)
 		if _, dup := s.runByID[r.id]; dup {
 			return nil, fmt.Errorf("%w: lsm: run id %d appears twice in the manifest", codec.ErrCorrupt, r.id)
 		}
 		s.runByID[r.id] = r
+	}
+	// Publish the loaded tree as the initial view, then (only now) start
+	// the background engine if the caller asked for one.
+	s.mu.Lock()
+	s.publishLocked(nil)
+	s.mu.Unlock()
+	if wantBackground {
+		s.startBackground()
 	}
 	return s, nil
 }

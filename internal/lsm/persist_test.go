@@ -53,9 +53,9 @@ func TestReopenIdenticalAnswersAndIO(t *testing.T) {
 			if got.Levels() != s.Levels() || got.Runs() != s.Runs() {
 				t.Fatalf("shape: got %d levels/%d runs, want %d/%d", got.Levels(), got.Runs(), s.Levels(), s.Runs())
 			}
-			if got.Device().Reads != s.Device().Reads || got.Device().Writes != s.Device().Writes {
+			if got.Device().Reads() != s.Device().Reads() || got.Device().Writes() != s.Device().Writes() {
 				t.Fatalf("restored counters: got R=%d W=%d, want R=%d W=%d",
-					got.Device().Reads, got.Device().Writes, s.Device().Reads, s.Device().Writes)
+					got.Device().Reads(), got.Device().Writes(), s.Device().Reads(), s.Device().Writes())
 			}
 			if got.FilterMemoryBits() != s.FilterMemoryBits() {
 				t.Fatalf("FilterMemoryBits: got %d, want %d", got.FilterMemoryBits(), s.FilterMemoryBits())
@@ -71,11 +71,11 @@ func TestReopenIdenticalAnswersAndIO(t *testing.T) {
 					t.Fatalf("Get(%d): original (%d,%v), reopened (%d,%v)", k, v1, ok1, v2, ok2)
 				}
 			}
-			if got.Device().Reads != s.Device().Reads {
-				t.Fatalf("scalar lookups diverged: %d reads vs %d", got.Device().Reads, s.Device().Reads)
+			if got.Device().Reads() != s.Device().Reads() {
+				t.Fatalf("scalar lookups diverged: %d reads vs %d", got.Device().Reads(), s.Device().Reads())
 			}
-			if got.FilterProbes != s.FilterProbes {
-				t.Fatalf("filter probes diverged: %d vs %d", got.FilterProbes, s.FilterProbes)
+			if got.FilterProbes() != s.FilterProbes() {
+				t.Fatalf("filter probes diverged: %d vs %d", got.FilterProbes(), s.FilterProbes())
 			}
 
 			v1 := make([]uint64, len(probe))
@@ -89,8 +89,8 @@ func TestReopenIdenticalAnswersAndIO(t *testing.T) {
 					t.Fatalf("GetBatch(%d): original (%d,%v), reopened (%d,%v)", probe[i], v1[i], f1[i], v2[i], f2[i])
 				}
 			}
-			if got.Device().Reads != s.Device().Reads {
-				t.Fatalf("batched lookups diverged: %d reads vs %d", got.Device().Reads, s.Device().Reads)
+			if got.Device().Reads() != s.Device().Reads() {
+				t.Fatalf("batched lookups diverged: %d reads vs %d", got.Device().Reads(), s.Device().Reads())
 			}
 
 			// The reopened store keeps working as a store: new writes flush
@@ -127,8 +127,8 @@ func TestReopenWithRangeFilter(t *testing.T) {
 			t.Fatalf("Scan[%d]: %+v vs %+v", i, have[i], want[i])
 		}
 	}
-	if s.Device().Reads != got.Device().Reads {
-		t.Fatalf("scan I/O diverged: %d vs %d", got.Device().Reads, s.Device().Reads)
+	if s.Device().Reads() != got.Device().Reads() {
+		t.Fatalf("scan I/O diverged: %d vs %d", got.Device().Reads(), s.Device().Reads())
 	}
 
 	// Reopening without the builder must fail loudly, not silently lose

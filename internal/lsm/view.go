@@ -1,0 +1,426 @@
+package lsm
+
+import (
+	"sort"
+
+	"beyondbloom/internal/core"
+)
+
+// This file is the read side: every query loads the current view (an
+// immutable snapshot of the frozen memtables and the level tree) and
+// probes it without locks. The only lock a reader ever takes is a short
+// read-lock on mu to consult the active memtable.
+//
+// Ordering matters: readers check the active memtable FIRST and load
+// the view after. A key missing from the active memtable at check time
+// is either never-written or already frozen — and any view loaded
+// after the check includes that frozen memtable (or the run it flushed
+// into), so no committed key can fall through the gap.
+
+// Get returns the value for key. The boolean reports presence.
+func (s *Store) Get(key uint64) (uint64, bool) {
+	s.mu.RLock()
+	e, ok := s.mem[key]
+	s.mu.RUnlock()
+	if ok {
+		return e.Value, !e.Tombstone
+	}
+	v := s.view.Load()
+	if e, ok := frozenLookup(v.frozen, key); ok {
+		return e.Value, !e.Tombstone
+	}
+	if s.opts.Policy == PolicyMaplet {
+		return s.mapletGet(key)
+	}
+	for level := 0; level < len(v.levels); level++ {
+		for _, r := range v.levels[level] { // newest first
+			if len(r.entries) == 0 || key < r.minKey() || key > r.maxKey() {
+				continue
+			}
+			if r.filter != nil {
+				// A faulted filter probe cannot rule the run out, so the
+				// lookup degrades to paying the data I/O.
+				if ok, usable := s.probeFilter(func() bool { return r.filter.Contains(key) }); usable && !ok {
+					continue
+				}
+			}
+			s.devRead(1)
+			if e, ok := r.find(key); ok {
+				return e.Value, !e.Tombstone
+			}
+		}
+	}
+	return 0, false
+}
+
+// GetBatch performs a batch of point lookups, writing the value and
+// presence of keys[i] into values[i] and found[i] (both must be at
+// least len(keys) long). Results and I/O accounting are identical to
+// calling Get per key; the win is on the filter side: each run's filter
+// is probed with the whole surviving key batch through its native
+// batched path (hash-once/probe-many) before any data block is touched,
+// instead of re-entering the filter once per key.
+func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
+	_ = values[:len(keys)]
+	_ = found[:len(keys)]
+	pending := make([]int32, 0, len(keys))
+	s.mu.RLock()
+	for i, k := range keys {
+		values[i], found[i] = 0, false
+		if e, ok := s.mem[k]; ok {
+			values[i], found[i] = e.Value, !e.Tombstone
+			continue
+		}
+		pending = append(pending, int32(i))
+	}
+	s.mu.RUnlock()
+	v := s.view.Load()
+	if len(v.frozen) > 0 && len(pending) > 0 {
+		kept := pending[:0]
+		for _, i := range pending {
+			if e, ok := frozenLookup(v.frozen, keys[i]); ok {
+				values[i], found[i] = e.Value, !e.Tombstone
+				continue
+			}
+			kept = append(kept, i)
+		}
+		pending = kept
+	}
+	if len(pending) == 0 {
+		return
+	}
+	if s.opts.Policy == PolicyMaplet {
+		// The maplet is a point structure routing each key to ~one run;
+		// there is no per-run filter to amortize, so the batch devolves
+		// to the scalar path per key.
+		for _, i := range pending {
+			values[i], found[i] = s.mapletGet(keys[i])
+		}
+		return
+	}
+	// Scratch for the per-run sub-batches. inRange holds the pending
+	// batch positions whose key falls in the run's key range; probeKeys/
+	// probeOut hold the (smaller) sub-batch whose filter probe was
+	// usable; resolved marks batch positions answered by some run.
+	inRange := make([]int32, 0, len(pending))
+	mustProbe := make([]bool, 0, len(pending))
+	probeKeys := make([]uint64, 0, len(pending))
+	probeOut := make([]bool, len(pending))
+	resolved := make([]bool, len(keys))
+	for level := 0; level < len(v.levels) && len(pending) > 0; level++ {
+		for _, r := range v.levels[level] { // newest first
+			if len(pending) == 0 {
+				break
+			}
+			if len(r.entries) == 0 {
+				continue
+			}
+			minK, maxK := r.minKey(), r.maxKey()
+			inRange = inRange[:0]
+			for _, i := range pending {
+				if k := keys[i]; k >= minK && k <= maxK {
+					inRange = append(inRange, i)
+				}
+			}
+			if len(inRange) == 0 {
+				continue
+			}
+			// Filter pass: judge each key's probe (fault injection is
+			// per probe, as in the scalar path), then answer all usable
+			// probes with one batched filter call. mustProbe[j] records
+			// that inRange[j] needs the data I/O regardless.
+			mustProbe = mustProbe[:len(inRange)]
+			if r.filter != nil {
+				probeKeys = probeKeys[:0]
+				for j, i := range inRange {
+					s.filterProbes.Add(1)
+					usable := true
+					if s.opts.FilterFaults != nil {
+						if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
+							s.filterFallbacks.Add(1)
+							usable = false
+						}
+					}
+					mustProbe[j] = !usable
+					if usable {
+						probeKeys = append(probeKeys, keys[i])
+					}
+				}
+				core.ContainsBatch(r.filter, probeKeys, probeOut[:len(probeKeys)])
+				p := 0
+				for j := range inRange {
+					if !mustProbe[j] {
+						mustProbe[j] = probeOut[p]
+						p++
+					}
+				}
+			} else {
+				for j := range mustProbe {
+					mustProbe[j] = true
+				}
+			}
+			// Data pass: pay one read per surviving key, resolve hits.
+			resolvedAny := false
+			for j, i := range inRange {
+				if !mustProbe[j] {
+					continue
+				}
+				s.devRead(1)
+				if e, ok := r.find(keys[i]); ok {
+					values[i], found[i] = e.Value, !e.Tombstone
+					resolved[i] = true
+					resolvedAny = true
+				}
+			}
+			if resolvedAny {
+				next := pending[:0]
+				for _, i := range pending {
+					if !resolved[i] {
+						next = append(next, i)
+					}
+				}
+				pending = next
+			}
+		}
+	}
+}
+
+// frozenLookup probes the frozen memtables, newest first.
+func frozenLookup(frozen []*memRun, key uint64) (Entry, bool) {
+	for _, fm := range frozen {
+		if e, ok := fm.entries[key]; ok {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// mapletGet probes only the runs the global maplet points to. When the
+// maplet block itself cannot be read, the lookup degrades to probing
+// every overlapping run (the PolicyNone cost) rather than failing.
+//
+// Two ordering rules make this exact under concurrency (and under run-id
+// recycling, where a numerically higher id says nothing about recency):
+//
+//   - Candidates are probed in view order — levels top-down, runs newest
+//     first within a level — so the newest version of the key (its
+//     tombstone included) always wins.
+//   - The maplet is read after loading the view, and the result only
+//     counts if the view pointer is unchanged afterwards. A compaction
+//     that publishes mid-probe may have retired maplet entries this
+//     view still needs (retire-after-swap deletes them right after the
+//     swap), so the lookup retries against the fresh view; if it keeps
+//     losing that race it falls back to probing every overlapping run,
+//     which needs no maplet at all.
+func (s *Store) mapletGet(key uint64) (uint64, bool) {
+	s.filterProbes.Add(1)
+	if s.opts.FilterFaults != nil {
+		if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
+			s.filterFallbacks.Add(1)
+			return s.probeAllRuns(s.view.Load(), key)
+		}
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		v := s.view.Load()
+		var value uint64
+		var live bool
+		found := false
+		if candidates := s.maplet.Get(key); len(candidates) > 0 {
+			want := make(map[uint64]bool, len(candidates))
+			for _, id := range candidates {
+				want[id] = true
+			}
+		probe:
+			for level := 0; level < len(v.levels); level++ {
+				for _, r := range v.levels[level] { // newest first
+					if !want[r.id] {
+						continue
+					}
+					s.devRead(1)
+					if e, ok := r.find(key); ok {
+						value, live, found = e.Value, !e.Tombstone, true
+						break probe
+					}
+				}
+			}
+		}
+		if s.view.Load() == v {
+			if found {
+				return value, live
+			}
+			return 0, false
+		}
+	}
+	return s.probeAllRuns(s.view.Load(), key)
+}
+
+// probeAllRuns is the filterless fallback: binary-search every run whose
+// key range covers key, newest first, paying one read per probed run.
+func (s *Store) probeAllRuns(v *view, key uint64) (uint64, bool) {
+	for level := 0; level < len(v.levels); level++ {
+		for _, r := range v.levels[level] { // newest first
+			if len(r.entries) == 0 || key < r.minKey() || key > r.maxKey() {
+				continue
+			}
+			s.devRead(1)
+			if e, ok := r.find(key); ok {
+				return e.Value, !e.Tombstone
+			}
+		}
+	}
+	return 0, false
+}
+
+// Scan returns all live entries with keys in [lo, hi], using range
+// filters (when configured) to skip runs. It merges the snapshot's
+// sources newest-first in a single pass: each key is resolved exactly
+// once, so a tombstone shadows every older version of its key even
+// while a compaction races the scan.
+func (s *Store) Scan(lo, hi uint64) []Entry {
+	// Sources in newest-first order: active memtable, frozen memtables,
+	// then levels top-down with runs newest first. Each source is an
+	// ascending-sorted slice; the first source holding a key wins.
+	var sources [][]Entry
+	var mem []Entry
+	s.mu.RLock()
+	for k, e := range s.mem {
+		if k >= lo && k <= hi {
+			mem = append(mem, e)
+		}
+	}
+	s.mu.RUnlock()
+	v := s.view.Load()
+	sort.Slice(mem, func(i, j int) bool { return mem[i].Key < mem[j].Key })
+	sources = append(sources, mem)
+	for _, fm := range v.frozen {
+		var part []Entry
+		for k, e := range fm.entries {
+			if k >= lo && k <= hi {
+				part = append(part, e)
+			}
+		}
+		sort.Slice(part, func(i, j int) bool { return part[i].Key < part[j].Key })
+		sources = append(sources, part)
+	}
+	for level := 0; level < len(v.levels); level++ {
+		for _, r := range v.levels[level] { // newest first
+			if len(r.entries) == 0 || hi < r.minKey() || lo > r.maxKey() {
+				continue
+			}
+			if r.rangeF != nil {
+				if ok, usable := s.probeFilter(func() bool { return r.rangeF.MayContainRange(lo, hi) }); usable && !ok {
+					continue
+				}
+			}
+			s.devRead(1)
+			i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key >= lo })
+			j := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key > hi })
+			sources = append(sources, r.entries[i:j])
+		}
+	}
+	return mergeSources(sources)
+}
+
+// mergeSources merges ascending-sorted entry slices into the live
+// result: among sources holding the same key, the earliest (newest)
+// wins; tombstones suppress their key. Output is ascending by key.
+func mergeSources(sources [][]Entry) []Entry {
+	idx := make([]int, len(sources))
+	total := 0
+	for _, src := range sources {
+		total += len(src)
+	}
+	out := make([]Entry, 0, total)
+	for {
+		// Find the smallest pending key and the newest source holding it.
+		best := -1
+		var bestKey uint64
+		for si, src := range sources {
+			if idx[si] >= len(src) {
+				continue
+			}
+			k := src[idx[si]].Key
+			if best == -1 || k < bestKey {
+				best, bestKey = si, k
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		winner := sources[best][idx[best]]
+		// Advance every source sitting on this key (older versions are
+		// superseded — this is the single dedup point).
+		for si, src := range sources {
+			if idx[si] < len(src) && src[idx[si]].Key == bestKey {
+				idx[si]++
+			}
+		}
+		if !winner.Tombstone {
+			out = append(out, winner)
+		}
+	}
+}
+
+// Levels returns the number of allocated levels.
+func (s *Store) Levels() int { return len(s.view.Load().levels) }
+
+// Runs returns the total number of live runs (reads probe up to this
+// many under tiering).
+func (s *Store) Runs() int {
+	n := 0
+	for _, level := range s.view.Load().levels {
+		n += len(level)
+	}
+	return n
+}
+
+// FilterMemoryBits returns the total filter footprint (per-run filters or
+// the global maplet).
+func (s *Store) FilterMemoryBits() int {
+	if s.maplet != nil {
+		return s.maplet.SizeBits()
+	}
+	total := 0
+	for _, level := range s.view.Load().levels {
+		for _, r := range level {
+			if r.filter != nil {
+				total += r.filter.SizeBits()
+			}
+		}
+	}
+	return total
+}
+
+// Len returns the number of live entries (exact; walks all runs).
+func (s *Store) Len() int {
+	keys := map[uint64]bool{}
+	s.mu.RLock()
+	for k, e := range s.mem {
+		keys[k] = !e.Tombstone
+	}
+	s.mu.RUnlock()
+	v := s.view.Load()
+	for _, fm := range v.frozen {
+		for k, e := range fm.entries {
+			if _, ok := keys[k]; !ok {
+				keys[k] = !e.Tombstone
+			}
+		}
+	}
+	for level := 0; level < len(v.levels); level++ {
+		for _, r := range v.levels[level] { // newest first
+			for _, e := range r.entries {
+				if _, ok := keys[e.Key]; !ok {
+					keys[e.Key] = !e.Tombstone
+				}
+			}
+		}
+	}
+	n := 0
+	for _, live := range keys {
+		if live {
+			n++
+		}
+	}
+	return n
+}

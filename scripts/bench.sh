@@ -1,7 +1,9 @@
 #!/bin/sh
 # Run the batched-vs-scalar filter benchmarks (-> BENCH_batch.json, see
-# batch_bench_test.go) and the persistence codec benchmarks
-# (-> BENCH_persist.json, see persist_bench_test.go).
+# batch_bench_test.go), the persistence codec benchmarks
+# (-> BENCH_persist.json, see persist_bench_test.go), and the
+# concurrent LSM store benchmarks (-> BENCH_lsm_concurrent.json, see
+# lsm_concurrent_bench_test.go).
 # Setup builds multi-MB filters, so a full run takes a few minutes.
 set -eu
 cd "$(dirname "$0")/.."
@@ -20,3 +22,9 @@ go test -run '^$' -bench 'Persist(Encode|Decode)' \
 	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
 python3 scripts/bench_to_json.py <"$RAW" >BENCH_persist.json
 echo "wrote BENCH_persist.json"
+
+echo "== go test -bench LSMConcurrent =="
+go test -run '^$' -bench 'LSMConcurrent' \
+	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
+python3 scripts/bench_to_json.py <"$RAW" >BENCH_lsm_concurrent.json
+echo "wrote BENCH_lsm_concurrent.json"

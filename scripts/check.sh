@@ -24,8 +24,11 @@ go test -race ./...
 echo "== experiment smoke (exp all -scale 0.05) =="
 go run ./cmd/beyondbloom exp all -scale 0.05 >/dev/null
 
+echo "== concurrent engine smoke (exp E18 -scale 0.1) =="
+go run ./cmd/beyondbloom exp E18 -scale 0.1 >/dev/null
+
 echo "== benchmark smoke (1 iteration, -short) =="
-go test -short -run '^$' -bench 'Filter|Persist' -benchtime 1x -benchmem . >/dev/null
+go test -short -run '^$' -bench 'Filter|Persist|LSMConcurrent' -benchtime 1x -benchmem . >/dev/null
 
 echo "== codec fuzz burst (10s each) =="
 go test -run '^$' -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/codec >/dev/null

@@ -222,6 +222,18 @@ bit-sacrifice mechanism, so each doubling doubles NRS. That residual is
 precisely the gap the tutorial says InfiniFilter-style maplets should
 close, measured in one table.""",
 
+    "E18": """The concurrency claim behind DESIGN.md §8: queries run against
+immutable published snapshots, so reads keep flowing — and stay exactly
+correct (wrong_results is asserted 0) — while background flushes and
+compactions rewrite the tree underneath them. Absolute scaling follows
+GOMAXPROCS (on this single-hardware-thread container the goroutines
+time-slice, so aggregate throughput is ~flat as readers grow); the
+reproduction target is the invariant, not the slope. E18b shows what
+moving flush/compaction off the write path buys: the p99.9 put latency
+drops ~4× because a Put no longer pays the flush-and-compact cascade
+inline, while the L0RunBudget backpressure bounds how far ingest can
+run ahead of the engine.""",
+
     "A1": """SuRF's own design space: hash suffixes cut point FPR (in space) but do
 nothing for correlated range queries, which need real suffixes — and even
 real suffixes can't fix the truncation-interval weakness at gap 2.""",
