@@ -67,6 +67,9 @@ const (
 	KindSequence uint16 = 3 // ef.Sequence
 	KindQTable   uint16 = 4 // quotient table (shared by filter/maplet variants)
 	KindMaplet   uint16 = 5 // quotient.Maplet (key → value approximate map)
+	// KindWALRecord frames one write-ahead-log record (wal package): a
+	// batch of mutations stamped with contiguous log sequence numbers.
+	KindWALRecord uint16 = 6
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

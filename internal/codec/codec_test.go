@@ -141,6 +141,69 @@ func TestPeekKind(t *testing.T) {
 	}
 }
 
+// TestTruncationWrapsErrCorrupt cuts a golden frame at every byte
+// offset and checks each reader's contract: the error must wrap
+// ErrCorrupt and must NOT leak the raw io error through the chain —
+// callers branch on ErrCorrupt (torn tail, repairable) and a bare
+// io.ErrUnexpectedEOF would dodge that branch and escalate a routine
+// crash tail into a fatal open error.
+func TestTruncationWrapsErrCorrupt(t *testing.T) {
+	var e Enc
+	e.U64(0x1122334455667788)
+	e.U64s([]uint64{5, 6, 7})
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, 11, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	golden := buf.Bytes()
+
+	readers := []struct {
+		name string
+		// whole reports whether the reader consumes the full frame
+		// (payload included) or only the header.
+		whole bool
+		read  func(data []byte) error
+	}{
+		{"ReadFrame", true, func(data []byte) error {
+			_, err := ReadFrame(bytes.NewReader(data), 11)
+			return err
+		}},
+		{"ReadRaw", true, func(data []byte) error {
+			_, _, err := ReadRaw(bytes.NewReader(data))
+			return err
+		}},
+		{"PeekKind", false, func(data []byte) error {
+			_, _, err := PeekKind(bytes.NewReader(data))
+			return err
+		}},
+	}
+	for _, r := range readers {
+		for cut := 0; cut < len(golden); cut++ {
+			err := r.read(golden[:cut])
+			if !r.whole && cut >= HeaderSize {
+				// Header-only readers succeed once the header is intact.
+				if err != nil {
+					t.Fatalf("%s: cut at %d: unexpected error %v", r.name, cut, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Fatalf("%s: cut at %d decoded successfully", r.name, cut)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: cut at %d: %v does not wrap ErrCorrupt", r.name, cut, err)
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				t.Fatalf("%s: cut at %d: raw io error leaks through chain: %v", r.name, cut, err)
+			}
+		}
+		// The intact frame must decode.
+		if err := r.read(golden); err != nil {
+			t.Fatalf("%s: golden frame: %v", r.name, err)
+		}
+	}
+}
+
 // FuzzFrameRoundTrip feeds arbitrary bytes to ReadFrame: it must either
 // decode a frame whose re-encoding reproduces the consumed bytes, or
 // return an error — never panic.

@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"E16", "Fault injection: adaptivity and LSM lookups on an unreliable backing store (§2.3+§3.1)", runE16},
 		{"E17", "Persistence: codec throughput and reload vs rebuild (§2.7+§3.1)", runE17},
 		{"E18", "Concurrent LSM: read scaling under background compaction (§3.1)", runE18},
+		{"E19", "Durable LSM: crash-point sweep and durability-mode put latency (§3.1)", runE19},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return append(exps, ablations()...)

@@ -12,10 +12,10 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 24 { // E1-E18 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 24", len(exps))
+	if len(exps) != 25 { // E1-E19 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 25", len(exps))
 	}
-	for i, e := range exps[:18] {
+	for i, e := range exps[:19] {
 		if e.ID != "E"+itoa(i+1) {
 			t.Errorf("experiment %d has ID %s", i, e.ID)
 		}
@@ -141,6 +141,37 @@ func TestE18ConcurrentExperiment(t *testing.T) {
 	for _, name := range []string{"sync_inline", "bg_budget=2", "bg_budget=16"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("E18b missing mode %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestE19DurableExperiment checks the durability experiment's
+// invariant: the crash sweep reports zero lost acknowledged writes and
+// zero invented writes in every mode, and the latency ablation covers
+// all four durability modes.
+func TestE19DurableExperiment(t *testing.T) {
+	out := runOne(t, "E19")
+	sweep, _, _ := strings.Cut(out, "E19b")
+	rows := 0
+	for _, line := range strings.Split(sweep, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 6 {
+			continue
+		}
+		switch fields[0] {
+		case "group", "always", "buffered":
+			rows++
+			if fields[3] != "0" || fields[4] != "0" {
+				t.Errorf("E19a crash sweep lost or invented writes:\n%s", line)
+			}
+		}
+	}
+	if rows != 3 {
+		t.Errorf("E19a produced %d sweep rows, want 3:\n%s", rows, out)
+	}
+	for _, name := range []string{"no_wal", "buffered", "group_commit", "fsync_per_op"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E19b missing mode %s:\n%s", name, out)
 		}
 	}
 }

@@ -1,0 +1,567 @@
+package fault
+
+// This file extends the fault substrate from I/O outcomes (fault.go) to
+// whole-filesystem crash semantics. The durability work in internal/wal
+// and lsm's checkpoint path is only trustworthy if it survives a kill at
+// *every* filesystem operation — mid-append, mid-rename, mid-fsync —
+// and the only way to test that exhaustively is to put a simulated
+// filesystem under the store whose crash behavior is precise:
+//
+//   - FS is the small filesystem surface the durable layers write
+//     through. Disk is the real-OS implementation used in production.
+//   - CrashFS is an in-memory implementation that models the
+//     page-cache/disk split: written bytes are volatile until Sync, a
+//     file's directory entry (creation, rename, removal) is volatile
+//     until SyncDir on its parent, and a simulated crash throws away
+//     the volatile layer — keeping, deterministically, a partial prefix
+//     of any un-synced tail (a torn write).
+//
+// A crash is armed with CrashAfter(n): the nth mutating operation takes
+// partial effect and fails with ErrCrashed, and every later operation
+// fails too (the process is dead). Recover() then yields the disk image
+// a rebooted machine would see. Sweeping n across a workload's whole
+// operation count visits every crash window the code has.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every CrashFS operation at and after the
+// injected crash point: from the store's perspective the machine died.
+var ErrCrashed = errors.New("fault: simulated crash")
+
+// File is the writable-file surface durable layers need: append bytes,
+// force them to stable storage, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations of the durability path (WAL
+// segments, checkpoint temp-file-plus-rename) so tests can substitute a
+// crash-simulating implementation. Paths are ordinary slash-separated
+// OS paths; implementations clean them, so "dir//f" and "dir/f" name
+// the same file.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	// ReadFile returns name's full content.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir returns the sorted base names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically moves oldname to newname (replacing it).
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name's content to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir makes dir's entries (creations, renames, removals)
+	// durable, the way fsync on a directory fd does.
+	SyncDir(dir string) error
+}
+
+// Disk is the real-OS filesystem.
+var Disk FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(name, size)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// crashFile is one file's two-tier content: synced bytes survive a
+// crash intact; unsynced bytes survive only as a deterministic prefix
+// (the torn tail).
+type crashFile struct {
+	synced   []byte
+	unsynced []byte
+}
+
+func (f *crashFile) content() []byte {
+	out := make([]byte, 0, len(f.synced)+len(f.unsynced))
+	out = append(out, f.synced...)
+	return append(out, f.unsynced...)
+}
+
+// CrashFS is the in-memory crash-simulating filesystem. It is safe for
+// concurrent use. Mutating operations (Create, Write, Sync, Rename,
+// Remove, Truncate, SyncDir) advance an operation counter; when the
+// counter reaches the armed crash point, that operation takes partial
+// effect — governed by the seeded generator, so a given (seed, crash
+// point) pair always tears the same way — and the filesystem is dead:
+// it and every subsequent call return ErrCrashed.
+//
+// Two documented simplifications relative to strict POSIX: MkdirAll is
+// durable immediately (the stores under test create their directories
+// once, before the crash window opens), and Truncate applies to the
+// durable tier directly (it is only used by recovery-time tail repair,
+// which re-syncs what it keeps).
+type CrashFS struct {
+	mu   sync.Mutex
+	seed uint64
+	rng  uint64
+
+	files map[string]*crashFile // live namespace (what un-crashed readers see)
+	dirs  map[string]bool
+	// durable holds, per name, the file its directory entry durably
+	// points at. A crash resets the namespace to exactly this map.
+	durable map[string]*crashFile
+
+	ops     int
+	crashAt int
+	crashed bool
+}
+
+// NewCrashFS returns an empty crash-simulating filesystem. The seed
+// drives the deterministic torn-write and partial-effect choices.
+func NewCrashFS(seed uint64) *CrashFS {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &CrashFS{
+		seed:    seed,
+		rng:     seed,
+		files:   make(map[string]*crashFile),
+		dirs:    make(map[string]bool),
+		durable: make(map[string]*crashFile),
+	}
+}
+
+// CrashAfter arms the crash: the nth mutating operation from now fails
+// mid-flight (n >= 1). Zero disarms.
+func (c *CrashFS) CrashAfter(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		c.crashAt = 0
+		return
+	}
+	c.crashAt = c.ops + n
+}
+
+// Ops returns the number of mutating operations performed so far
+// (including the one that crashed). A dry run's count bounds the sweep.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether the injected crash has fired.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// next is xorshift64*, matching the Injector's generator.
+func (c *CrashFS) next() uint64 {
+	x := c.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// step charges one mutating operation. It returns (partial, dead):
+// dead means the call must return ErrCrashed without any effect;
+// partial means this call IS the crash point — it should take its
+// deterministic partial effect and then return ErrCrashed.
+func (c *CrashFS) step() (partial, dead bool) {
+	if c.crashed {
+		return false, true
+	}
+	c.ops++
+	if c.crashAt != 0 && c.ops >= c.crashAt {
+		c.crashed = true
+		return true, false
+	}
+	return false, false
+}
+
+// Recover returns the filesystem a rebooted machine would mount: the
+// durable namespace, each surviving file holding its synced bytes plus
+// a deterministic prefix of its un-synced tail. The returned filesystem
+// is healthy (op counter reset, no crash armed) and seeded to tear
+// differently on a subsequent crash. Calling Recover on an un-crashed
+// filesystem models a clean shutdown: the full live state survives.
+func (c *CrashFS) Recover() *CrashFS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := NewCrashFS(c.seed*0x9E3779B97F4A7C15 + uint64(c.ops) + 1)
+	for d := range c.dirs {
+		out.dirs[d] = true
+	}
+	ns := c.durable
+	if !c.crashed {
+		ns = c.files
+	}
+	// Deterministic iteration: torn lengths must not depend on map order.
+	names := make([]string, 0, len(ns))
+	for name := range ns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := ns[name]
+		content := f.content()
+		if c.crashed {
+			keep := len(f.synced)
+			if n := len(f.unsynced); n > 0 {
+				keep += int(c.tornLen(name, n))
+			}
+			content = content[:keep]
+		}
+		out.files[name] = &crashFile{synced: append([]byte(nil), content...)}
+		out.durable[name] = out.files[name]
+	}
+	return out
+}
+
+// tornLen picks how many of n un-synced bytes survive for the named
+// file: deterministic in (seed, crash op, name).
+func (c *CrashFS) tornLen(name string, n int) uint64 {
+	h := c.seed ^ uint64(c.ops)*0x9E3779B97F4A7C15
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001B3
+	}
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h % uint64(n+1)
+}
+
+func clean(p string) string { return filepath.Clean(p) }
+
+func (c *CrashFS) parentExists(name string) bool {
+	dir := filepath.Dir(name)
+	return dir == "." || dir == "/" || c.dirs[dir]
+}
+
+// MkdirAll creates dir and its parents (durable immediately — see the
+// type comment). It is not a crash window.
+func (c *CrashFS) MkdirAll(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	dir = clean(dir)
+	for d := dir; d != "." && d != "/"; d = filepath.Dir(d) {
+		c.dirs[d] = true
+	}
+	return nil
+}
+
+// Create opens name truncated. The new (empty) content and the
+// directory entry are both volatile until Sync/SyncDir.
+func (c *CrashFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = clean(name)
+	partial, dead := c.step()
+	if dead {
+		return nil, ErrCrashed
+	}
+	if !c.parentExists(name) {
+		return nil, fmt.Errorf("create %s: %w", name, fs.ErrNotExist)
+	}
+	if partial {
+		// The crash strikes mid-create: the entry may or may not have
+		// reached the (volatile) namespace. Either way the caller is dead.
+		if c.next()&1 == 0 {
+			c.files[name] = &crashFile{}
+		}
+		return nil, ErrCrashed
+	}
+	c.files[name] = &crashFile{}
+	return &crashHandle{fs: c, name: name}, nil
+}
+
+// Append opens name for appending, creating it (volatile) if absent.
+func (c *CrashFS) Append(name string) (File, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = clean(name)
+	partial, dead := c.step()
+	if dead {
+		return nil, ErrCrashed
+	}
+	if !c.parentExists(name) {
+		return nil, fmt.Errorf("append %s: %w", name, fs.ErrNotExist)
+	}
+	if _, ok := c.files[name]; !ok {
+		if partial {
+			if c.next()&1 == 0 {
+				c.files[name] = &crashFile{}
+			}
+			return nil, ErrCrashed
+		}
+		c.files[name] = &crashFile{}
+	} else if partial {
+		return nil, ErrCrashed
+	}
+	return &crashHandle{fs: c, name: name}, nil
+}
+
+// ReadFile returns name's live content (reads hit the page cache, so
+// they see volatile bytes; they are not crash windows).
+func (c *CrashFS) ReadFile(name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := c.files[clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("read %s: %w", name, fs.ErrNotExist)
+	}
+	return f.content(), nil
+}
+
+// ReadDir returns the sorted base names of dir's live entries.
+func (c *CrashFS) ReadDir(dir string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	dir = clean(dir)
+	if !c.dirs[dir] && dir != "." && dir != "/" {
+		return nil, fmt.Errorf("readdir %s: %w", dir, fs.ErrNotExist)
+	}
+	var names []string
+	prefix := dir + string(filepath.Separator)
+	for name := range c.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, strings.TrimPrefix(name, prefix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename moves oldname over newname. The move is atomic in the live
+// namespace but volatile until SyncDir: a crash first reverts it.
+func (c *CrashFS) Rename(oldname, newname string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oldname, newname = clean(oldname), clean(newname)
+	partial, dead := c.step()
+	if dead {
+		return ErrCrashed
+	}
+	f, ok := c.files[oldname]
+	if !ok {
+		return fmt.Errorf("rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	if partial && c.next()&1 == 0 {
+		return ErrCrashed
+	}
+	c.files[newname] = f
+	delete(c.files, oldname)
+	if partial {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Remove deletes name from the live namespace (volatile until SyncDir:
+// a crash resurrects the durable entry).
+func (c *CrashFS) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = clean(name)
+	partial, dead := c.step()
+	if dead {
+		return ErrCrashed
+	}
+	if _, ok := c.files[name]; !ok {
+		return fmt.Errorf("remove %s: %w", name, fs.ErrNotExist)
+	}
+	if partial && c.next()&1 == 0 {
+		return ErrCrashed
+	}
+	delete(c.files, name)
+	if partial {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Truncate cuts name to size bytes (durable directly — see the type
+// comment).
+func (c *CrashFS) Truncate(name string, size int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name = clean(name)
+	partial, dead := c.step()
+	if dead {
+		return ErrCrashed
+	}
+	f, ok := c.files[name]
+	if !ok {
+		return fmt.Errorf("truncate %s: %w", name, fs.ErrNotExist)
+	}
+	if partial && c.next()&1 == 0 {
+		return ErrCrashed
+	}
+	content := f.content()
+	if int64(len(content)) > size {
+		content = content[:size]
+	}
+	f.synced = append([]byte(nil), content...)
+	f.unsynced = nil
+	if partial {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// SyncDir makes dir's entries durable: files created or renamed into
+// dir now survive a crash under their current names; removed entries
+// stay removed.
+func (c *CrashFS) SyncDir(dir string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dir = clean(dir)
+	partial, dead := c.step()
+	if dead {
+		return ErrCrashed
+	}
+	if partial && c.next()&1 == 0 {
+		return ErrCrashed
+	}
+	for name, f := range c.files {
+		if filepath.Dir(name) == dir {
+			c.durable[name] = f
+		}
+	}
+	for name := range c.durable {
+		if filepath.Dir(name) != dir {
+			continue
+		}
+		if _, live := c.files[name]; !live {
+			delete(c.durable, name)
+		}
+	}
+	if partial {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// crashHandle is an open file on a CrashFS.
+type crashHandle struct {
+	fs   *CrashFS
+	name string
+}
+
+// Write appends to the file's volatile tail. When the crash strikes
+// mid-write, a deterministic prefix of p reaches the tail (and a
+// deterministic prefix of the whole tail later survives Recover):
+// exactly a torn write.
+func (h *crashHandle) Write(p []byte) (int, error) {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	partial, dead := c.step()
+	if dead {
+		return 0, ErrCrashed
+	}
+	f, ok := c.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("write %s: %w", h.name, fs.ErrNotExist)
+	}
+	if partial {
+		keep := int(c.next() % uint64(len(p)+1))
+		f.unsynced = append(f.unsynced, p[:keep]...)
+		return 0, ErrCrashed
+	}
+	f.unsynced = append(f.unsynced, p...)
+	return len(p), nil
+}
+
+// Sync promotes the file's volatile tail to the durable tier. A crash
+// mid-sync leaves the tail volatile (the fsync never completed).
+func (h *crashHandle) Sync() error {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	partial, dead := c.step()
+	if dead || partial {
+		return ErrCrashed
+	}
+	f, ok := c.files[h.name]
+	if !ok {
+		return fmt.Errorf("sync %s: %w", h.name, fs.ErrNotExist)
+	}
+	f.synced = append(f.synced, f.unsynced...)
+	f.unsynced = nil
+	return nil
+}
+
+// Close releases the handle. Un-synced bytes stay volatile: closing is
+// not a durability point.
+func (h *crashHandle) Close() error {
+	c := h.fs
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return nil
+}

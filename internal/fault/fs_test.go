@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"testing"
+)
+
+// writeAll is a test helper: create, write, sync, close, sync dir.
+func writeAll(t *testing.T, f FS, name string, data []byte) {
+	t.Helper()
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	if _, err := h.Write(data); err != nil {
+		t.Fatalf("Write(%s): %v", name, err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("Sync(%s): %v", name, err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", name, err)
+	}
+	if err := f.SyncDir(filepath.Dir(name)); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}
+
+// TestDiskFS exercises the real-OS implementation end to end.
+func TestDiskFS(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := Disk.MkdirAll(sub); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	writeAll(t, Disk, filepath.Join(sub, "x.tmp"), []byte("hello"))
+	if err := Disk.Rename(filepath.Join(sub, "x.tmp"), filepath.Join(sub, "x")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	h, err := Disk.Append(filepath.Join(sub, "x"))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := h.Write([]byte(" world")); err != nil {
+		t.Fatalf("append write: %v", err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("append sync: %v", err)
+	}
+	h.Close()
+	got, err := Disk.ReadFile(filepath.Join(sub, "x"))
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := Disk.Truncate(filepath.Join(sub, "x"), 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	got, _ = Disk.ReadFile(filepath.Join(sub, "x"))
+	if string(got) != "hello" {
+		t.Fatalf("after truncate = %q", got)
+	}
+	names, err := Disk.ReadDir(sub)
+	if err != nil || len(names) != 1 || names[0] != "x" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := Disk.Remove(filepath.Join(sub, "x")); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := Disk.ReadFile(filepath.Join(sub, "x")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read after remove: %v", err)
+	}
+}
+
+// TestCrashFSSyncedSurvives: synced bytes and dir-synced entries come
+// back intact after a crash.
+func TestCrashFSSyncedSurvives(t *testing.T) {
+	c := NewCrashFS(1)
+	if err := c.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, c, "d/f", []byte("durable"))
+	c.CrashAfter(1)
+	if err := c.SyncDir("d"); !errors.Is(err, ErrCrashed) && err != nil {
+		t.Fatalf("expected crash or nil, got %v", err)
+	}
+	r := c.Recover()
+	got, err := r.ReadFile("d/f")
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("recovered = %q, %v", got, err)
+	}
+}
+
+// TestCrashFSTornTail: un-synced bytes survive only as a prefix.
+func TestCrashFSTornTail(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		c := NewCrashFS(seed)
+		c.MkdirAll("d")
+		writeAll(t, c, "d/log", []byte("AAAA"))
+		h, err := c.Append("d/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte("BBBBBBBB")); err != nil {
+			t.Fatal(err)
+		}
+		// No sync: crash loses an arbitrary suffix of the B's.
+		c.CrashAfter(1)
+		h.Write([]byte("ignored"))
+		got, err := c.Recover().ReadFile("d/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(got, []byte("AAAA")) {
+			t.Fatalf("seed %d: synced prefix damaged: %q", seed, got)
+		}
+		if len(got) > len("AAAA")+8+len("ignored") {
+			t.Fatalf("seed %d: recovered more than was written: %q", seed, got)
+		}
+		rest := got[4:]
+		if !bytes.HasPrefix([]byte("BBBBBBBBignored"), rest) && len(rest) > 0 {
+			// The torn tail must be a prefix of what was written after
+			// the last sync (never reordered or invented bytes).
+			t.Fatalf("seed %d: torn tail %q is not a written prefix", seed, rest)
+		}
+	}
+}
+
+// TestCrashFSCreateVolatile: a file whose directory entry was never
+// synced vanishes in the crash.
+func TestCrashFSCreateVolatile(t *testing.T) {
+	c := NewCrashFS(3)
+	c.MkdirAll("d")
+	h, err := c.Create("d/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write([]byte("data"))
+	h.Sync() // content synced, but the ENTRY is not
+	c.CrashAfter(1)
+	c.Remove("d/ghost")
+	if _, err := c.Recover().ReadFile("d/ghost"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("un-dir-synced file survived: %v", err)
+	}
+}
+
+// TestCrashFSRenameVolatile: an un-dir-synced rename rolls back; a
+// dir-synced one holds.
+func TestCrashFSRenameVolatile(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		c := NewCrashFS(7)
+		c.MkdirAll("d")
+		writeAll(t, c, "d/old", []byte("payload"))
+		if err := c.Rename("d/old", "d/new"); err != nil {
+			t.Fatal(err)
+		}
+		if durable {
+			if err := c.SyncDir("d"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.CrashAfter(1)
+		c.SyncDir("d")
+		r := c.Recover()
+		wantName, goneName := "d/old", "d/new"
+		if durable {
+			wantName, goneName = "d/new", "d/old"
+		}
+		got, err := r.ReadFile(wantName)
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("durable=%v: %s = %q, %v", durable, wantName, got, err)
+		}
+		if _, err := r.ReadFile(goneName); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("durable=%v: %s still present (%v)", durable, goneName, err)
+		}
+	}
+}
+
+// TestCrashFSRemoveResurrects: an un-dir-synced remove comes back.
+func TestCrashFSRemoveResurrects(t *testing.T) {
+	c := NewCrashFS(9)
+	c.MkdirAll("d")
+	writeAll(t, c, "d/f", []byte("back"))
+	if err := c.Remove("d/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash on an unrelated operation: the removal never reached a
+	// directory sync, so the durable namespace still holds d/f.
+	c.CrashAfter(1)
+	c.Append("d/unrelated")
+	got, err := c.Recover().ReadFile("d/f")
+	if err != nil || string(got) != "back" {
+		t.Fatalf("removed-but-not-synced file did not resurrect: %q, %v", got, err)
+	}
+}
+
+// TestCrashFSDeterministic: the same seed and crash point produce the
+// same recovered image.
+func TestCrashFSDeterministic(t *testing.T) {
+	image := func() map[string]string {
+		c := NewCrashFS(42)
+		c.MkdirAll("d")
+		writeAll(t, c, "d/a", []byte("aaaa"))
+		c.CrashAfter(3)
+		h, _ := c.Append("d/a")
+		if h != nil {
+			h.Write([]byte("bbbbbbbb"))
+			h.Sync()
+		}
+		r := c.Recover()
+		out := map[string]string{}
+		names, _ := r.ReadDir("d")
+		for _, n := range names {
+			b, _ := r.ReadFile("d/" + n)
+			out[n] = string(b)
+		}
+		return out
+	}
+	a, b := image(), image()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic image: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("nondeterministic content for %s: %q vs %q", k, v, b[k])
+		}
+	}
+}
+
+// TestCrashFSDeadAfterCrash: every operation after the crash fails
+// with ErrCrashed.
+func TestCrashFSDeadAfterCrash(t *testing.T) {
+	c := NewCrashFS(5)
+	c.MkdirAll("d")
+	c.CrashAfter(1)
+	if _, err := c.Create("d/x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point op: %v", err)
+	}
+	if !c.Crashed() {
+		t.Fatal("Crashed() = false after the crash fired")
+	}
+	if _, err := c.Create("d/y"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Create: %v", err)
+	}
+	if _, err := c.ReadFile("d/x"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadFile: %v", err)
+	}
+	if err := c.SyncDir("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash SyncDir: %v", err)
+	}
+}
+
+// TestCrashFSCleanRecover: recovering an un-crashed filesystem keeps
+// the full live state (clean shutdown).
+func TestCrashFSCleanRecover(t *testing.T) {
+	c := NewCrashFS(11)
+	c.MkdirAll("d")
+	h, _ := c.Create("d/f")
+	h.Write([]byte("unsynced but clean"))
+	r := c.Recover()
+	got, err := r.ReadFile("d/f")
+	if err != nil || string(got) != "unsynced but clean" {
+		t.Fatalf("clean recover = %q, %v", got, err)
+	}
+}

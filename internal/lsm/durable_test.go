@@ -1,0 +1,269 @@
+package lsm
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"beyondbloom/internal/fault"
+)
+
+// durableOpts is the small-geometry durable configuration the tests
+// share: tiny memtables and segments so flushes, rotations, and
+// checkpoints all fire within a few dozen operations.
+func durableOpts(d Durability, fs fault.FS) Options {
+	return Options{
+		MemtableSize:    8,
+		Policy:          PolicyBloom,
+		Durability:      d,
+		FS:              fs,
+		WALSegmentBytes: 256,
+	}
+}
+
+// TestNewStoreRejectsDurability: durable stores need a directory.
+func TestNewStoreRejectsDurability(t *testing.T) {
+	if _, err := NewStore(Options{Durability: DurabilityGroup}); err == nil ||
+		!strings.Contains(err.Error(), "OpenStore") {
+		t.Fatalf("NewStore with Durability: %v", err)
+	}
+}
+
+// TestDurableBootstrapReplay: a fresh durable store's acknowledged
+// writes survive an abandoned process (no Close, no Save) via the log
+// alone — even before the first checkpoint exists.
+func TestDurableBootstrapReplay(t *testing.T) {
+	fs := fault.NewCrashFS(1)
+	s, err := OpenStore("db", durableOpts(DurabilityGroup, fs))
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	for k := uint64(1); k <= 5; k++ { // below the flush trigger: WAL only
+		s.Put(k, k*100)
+	}
+	// Abandon the store (simulated process exit without Close); the
+	// recovered image holds only what was made durable.
+	r, err := OpenStore("db", durableOpts(DurabilityGroup, fs.Recover()))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for k := uint64(1); k <= 5; k++ {
+		if v, ok := r.Get(k); !ok || v != k*100 {
+			t.Fatalf("key %d after replay = %d, %v", k, v, ok)
+		}
+	}
+	if st := r.WAL().Stats(); st.Replayed == 0 {
+		t.Fatal("reopen did not replay the log")
+	}
+}
+
+// TestDurableFlushCheckpoint: flushes checkpoint automatically, retire
+// covered segments, and the reopened store is exact — including
+// tombstones.
+func TestDurableFlushCheckpoint(t *testing.T) {
+	fs := fault.NewCrashFS(2)
+	s, err := OpenStore("db", durableOpts(DurabilityGroup, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		s.Put(k, k)
+	}
+	for k := uint64(1); k <= 100; k += 3 {
+		s.Delete(k)
+	}
+	if st := s.WAL().Stats(); st.Retired == 0 {
+		t.Fatalf("no segments retired by checkpoints: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenStore("db", durableOpts(DurabilityGroup, fs.Recover()))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		v, ok := r.Get(k)
+		if k%3 == 1 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected with %d", k, v)
+			}
+		} else if !ok || v != k {
+			t.Fatalf("key %d = %d, %v", k, v, ok)
+		}
+	}
+	// A clean Close checkpointed everything: replay had nothing to do.
+	if st := r.WAL().Stats(); st.Replayed != 0 {
+		t.Fatalf("clean shutdown replayed %d ops", st.Replayed)
+	}
+}
+
+// TestDurableRefusesNone: a durable directory cannot be opened with
+// DurabilityNone — that would silently drop the log.
+func TestDurableRefusesNone(t *testing.T) {
+	fs := fault.NewCrashFS(3)
+	s, err := OpenStore("db", durableOpts(DurabilityAlways, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 20; k++ {
+		s.Put(k, k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore("db", Options{FS: fs}); err == nil ||
+		!strings.Contains(err.Error(), "Durability") {
+		t.Fatalf("DurabilityNone open of durable dir: %v", err)
+	}
+}
+
+// TestDurableSaveElsewhere: Save to a foreign directory writes a
+// detached snapshot that opens as a plain store.
+func TestDurableSaveElsewhere(t *testing.T) {
+	fs := fault.NewCrashFS(4)
+	s, err := OpenStore("db", durableOpts(DurabilityGroup, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 30; k++ {
+		s.Put(k, k+7)
+	}
+	if err := s.Save("snap"); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	snap, err := OpenStore("snap", Options{FS: fs})
+	if err != nil {
+		t.Fatalf("open snapshot: %v", err)
+	}
+	for k := uint64(1); k <= 30; k++ {
+		if v, ok := snap.Get(k); !ok || v != k+7 {
+			t.Fatalf("snapshot key %d = %d, %v", k, v, ok)
+		}
+	}
+}
+
+// TestDurableOwnDirSaveIsCheckpoint: Save into the store's own
+// directory routes through Checkpoint and keeps the WAL consistent.
+func TestDurableOwnDirSaveIsCheckpoint(t *testing.T) {
+	fs := fault.NewCrashFS(5)
+	s, err := OpenStore("db", durableOpts(DurabilityGroup, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 5; k++ {
+		s.Put(k, k)
+	}
+	if err := s.Save("db"); err != nil {
+		t.Fatalf("Save(own dir): %v", err)
+	}
+	// The checkpoint folded the memtable: replay-on-reopen is empty.
+	r, err := OpenStore("db", durableOpts(DurabilityGroup, fs.Recover()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.WAL().Stats(); st.Replayed != 0 {
+		t.Fatalf("checkpointed store replayed %d ops", st.Replayed)
+	}
+	for k := uint64(1); k <= 5; k++ {
+		if v, ok := r.Get(k); !ok || v != k {
+			t.Fatalf("key %d = %d, %v", k, v, ok)
+		}
+	}
+}
+
+// TestDurableBackgroundConcurrent: a Background durable store under
+// concurrent writers acknowledges every Put durably; after Close and
+// reopen nothing acknowledged is missing. Run with -race.
+func TestDurableBackgroundConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		MemtableSize: 64,
+		Policy:       PolicyBloom,
+		Background:   true,
+		Durability:   DurabilityGroup,
+	}
+	s, err := OpenStore(filepath.Join(dir, "db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := uint64(w*perWriter + i + 1)
+				s.Put(k, k*3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenStore(filepath.Join(dir, "db"), opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	for k := uint64(1); k <= writers*perWriter; k++ {
+		if v, ok := r.Get(k); !ok || v != k*3 {
+			t.Fatalf("acknowledged key %d lost (= %d, %v)", k, v, ok)
+		}
+	}
+}
+
+// TestDurableMapletPolicy: the maplet policy works durably — the
+// global index is checkpointed with the manifest and replayed writes
+// land in the memtable above it.
+func TestDurableMapletPolicy(t *testing.T) {
+	fs := fault.NewCrashFS(6)
+	opts := durableOpts(DurabilityGroup, fs)
+	opts.Policy = PolicyMaplet
+	s, err := OpenStore("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 60; k++ {
+		s.Put(k, k^0xABCD)
+	}
+	r, err := OpenStore("db", opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for k := uint64(1); k <= 60; k++ {
+		if v, ok := r.Get(k); !ok || v != k^0xABCD {
+			t.Fatalf("key %d = %d, %v", k, v, ok)
+		}
+	}
+}
+
+// TestDurableApplyBatch: one Apply batch is logged as one record and
+// survives as a unit.
+func TestDurableApplyBatch(t *testing.T) {
+	fs := fault.NewCrashFS(7)
+	s, err := OpenStore("db", durableOpts(DurabilityGroup, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Entry{{Key: 1, Value: 10}, {Key: 2, Value: 20}, {Key: 3, Tombstone: true}}
+	if err := s.Apply(batch...); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	r, err := OpenStore("db", durableOpts(DurabilityGroup, fs.Recover()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d, %v", v, ok)
+	}
+	if v, ok := r.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) = %d, %v", v, ok)
+	}
+	if _, ok := r.Get(3); ok {
+		t.Fatal("tombstoned key 3 present")
+	}
+}

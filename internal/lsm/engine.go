@@ -198,10 +198,15 @@ func (s *Store) mapletPut(key, runID uint64) {
 // the spot (the deterministic legacy order); in Background mode both
 // steps wait until after the view swap (finishRetired), so a concurrent
 // reader holding stale maplet candidates still finds the run's data.
+// Durable stores always defer: a retired id may be recycled only after
+// the checkpoint that stops referencing the run has deleted its files,
+// or a recycled id's fresh data could collide with a stale file.
 func (s *Store) retireRun(old *run) {
 	delete(s.runByID, old.id)
 	if s.deferRetire {
+		s.retMu.Lock()
 		s.retired = append(s.retired, old)
+		s.retMu.Unlock()
 		return
 	}
 	s.recycleRun(old)
@@ -223,14 +228,18 @@ func (s *Store) recycleRun(old *run) {
 	}
 }
 
-// finishRetired performs the deferred half of Background-mode
-// retirement: maplet deletions and id recycling, strictly after the
-// view swap that removed the runs (retire-after-swap).
+// finishRetired performs the deferred half of retirement: maplet
+// deletions and id recycling, strictly after the view swap that
+// removed the runs (retire-after-swap) — and, on a durable store,
+// strictly after the checkpoint that deleted their files.
 func (s *Store) finishRetired() {
-	for _, old := range s.retired {
+	s.retMu.Lock()
+	retired := s.retired
+	s.retired = nil
+	s.retMu.Unlock()
+	for _, old := range retired {
 		s.recycleRun(old)
 	}
-	s.retired = s.retired[:0]
 }
 
 // compact cascades oversized levels downward. Leveling moves a level's

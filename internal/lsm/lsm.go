@@ -43,6 +43,7 @@ import (
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/fault"
 	"beyondbloom/internal/quotient"
+	"beyondbloom/internal/wal"
 )
 
 // Entry is a key-value record. Tombstones mark deletions until
@@ -183,6 +184,31 @@ const (
 // disables range filtering.
 type RangeFilterBuilder func(keys []uint64) core.RangeFilter
 
+// Durability selects the write-ahead-logging contract of a store
+// opened with OpenStore (see DESIGN.md §9). Snapshot-only stores
+// (DurabilityNone, the default) persist nothing between explicit Save
+// calls; every other mode logs mutations to a WAL in the store's
+// directory before they enter the memtable and replays the log on
+// reopen, so no acknowledged write is lost to a crash.
+type Durability int
+
+const (
+	// DurabilityNone disables the WAL: the legacy snapshot-only store.
+	DurabilityNone Durability = iota
+	// DurabilityGroup logs every write and batches fsyncs across
+	// concurrent writers (group commit): full durability with flat
+	// latency tails. The recommended durable mode.
+	DurabilityGroup
+	// DurabilityAlways fsyncs every write individually before
+	// acknowledging it: the naive baseline the E19 ablation measures
+	// group commit against.
+	DurabilityAlways
+	// DurabilityBuffered logs without fsync: a crash may lose the
+	// buffered tail, but what survives is always a clean prefix of the
+	// write history.
+	DurabilityBuffered
+)
+
 // CompactionPolicy selects the merge strategy (§3.1's design space).
 type CompactionPolicy int
 
@@ -243,6 +269,16 @@ type Options struct {
 	// DeviceRetry overrides the retry policy for faulted device I/O
 	// (default: 4 attempts, no simulated sleep).
 	DeviceRetry *fault.RetryPolicy
+	// Durability selects the write-ahead-logging contract. Any value
+	// other than DurabilityNone requires a directory, so it is accepted
+	// only by OpenStore (NewStore rejects it).
+	Durability Durability
+	// FS is the filesystem persistence writes through (nil selects the
+	// real OS disk). Crash tests substitute a fault.CrashFS.
+	FS fault.FS
+	// WALSegmentBytes caps one WAL segment file before rotation
+	// (default 1 MiB). Ignored under DurabilityNone.
+	WALSegmentBytes int
 }
 
 func (o *Options) fill() {
@@ -288,7 +324,25 @@ func (o *Options) validate() error {
 	if o.L0RunBudget < 0 {
 		return fmt.Errorf("lsm: L0RunBudget %d must be positive (zero selects the default)", o.L0RunBudget)
 	}
+	if o.Durability < DurabilityNone || o.Durability > DurabilityBuffered {
+		return fmt.Errorf("lsm: unknown Durability %d", o.Durability)
+	}
+	if o.WALSegmentBytes < 0 {
+		return fmt.Errorf("lsm: WALSegmentBytes %d must be positive (zero selects the default)", o.WALSegmentBytes)
+	}
 	return nil
+}
+
+// walMode maps a Durability to the log's commit mode.
+func walMode(d Durability) wal.Mode {
+	switch d {
+	case DurabilityAlways:
+		return wal.ModeAlways
+	case DurabilityBuffered:
+		return wal.ModeBuffered
+	default:
+		return wal.ModeGroup
+	}
 }
 
 // run is an immutable sorted run.
@@ -347,10 +401,31 @@ type Store struct {
 	// goroutine is flushing — the background worker in Background mode,
 	// or a caller holding mu's write lock in synchronous mode — and is
 	// never read by queries (they use the published view).
-	tree        [][]*run
-	runByID     map[uint64]*run
-	retired     []*run // Background mode: runs awaiting post-publish retirement
+	tree    [][]*run
+	runByID map[uint64]*run
+	// retMu guards the deferred-retirement list: retireRun appends from
+	// the engine, finishRetired drains from whichever goroutine ran the
+	// last checkpoint (durable mode) or view swap (Background mode).
+	retMu       sync.Mutex
+	retired     []*run
 	deferRetire bool
+
+	// Durable-mode state (zero for snapshot-only stores). lastLSN is
+	// guarded by mu and advances with every logged batch; flushedLSN and
+	// persisted are guarded by ckptMu, which serializes checkpoints.
+	// persisted maps a run id with files in the store directory to
+	// whether a filter file accompanies the data file. bgErr (guarded by
+	// mu) is the sticky failure of a background checkpoint, surfaced on
+	// the next Apply.
+	wal        *wal.Log
+	dir        string
+	fs         fault.FS
+	lastLSN    uint64
+	bgErr      error
+	closeErr   error
+	ckptMu     sync.Mutex
+	flushedLSN uint64
+	persisted  map[uint64]bool
 
 	// Run ids are recycled from a small pool so they always fit the
 	// maplet's 16-bit value width no matter how many flushes occur.
@@ -378,11 +453,16 @@ type Store struct {
 
 // NewStore returns an empty store, or an error when the options are
 // invalid (negative sizes, a size ratio of one, an L0 run budget that
-// could never admit a write, an unknown policy...).
+// could never admit a write, an unknown policy...). Durable stores
+// need a directory for their log, so Options.Durability is accepted
+// only by OpenStore.
 func NewStore(opts Options) (*Store, error) {
 	opts.fill()
 	if err := opts.validate(); err != nil {
 		return nil, err
+	}
+	if opts.Durability != DurabilityNone {
+		return nil, fmt.Errorf("lsm: Options.Durability requires a directory; open durable stores with OpenStore")
 	}
 	retry := fault.RetryPolicy{MaxAttempts: 4, Sleep: fault.NoSleep}
 	if opts.DeviceRetry != nil {
@@ -428,30 +508,40 @@ func (s *Store) startBackground() {
 }
 
 // Close stops the background engine, draining any pending flush work
-// first. It is a no-op for synchronous stores and idempotent. After
-// Close the store remains usable in synchronous mode: subsequent Puts
-// flush inline.
+// first, and — on a durable store — writes a final checkpoint and
+// closes the write-ahead log. It is idempotent. A snapshot-only store
+// remains usable in synchronous mode after Close (subsequent Puts
+// flush inline); a durable store must not be written after Close.
 func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
 		s.mu.Lock()
 		running := s.bg
 		s.mu.Unlock()
-		if !running {
-			return
+		if running {
+			s.cancel()
+			s.signalFlush() // wake the worker if it is idle
+			s.wg.Wait()
+			s.mu.Lock()
+			s.bg = false
+			if s.wal == nil {
+				s.deferRetire = false
+			}
+			// The worker drained everything before exiting, but wake any
+			// stalled writer or waiting Flush so it re-checks under the new
+			// (synchronous) regime.
+			s.cond.Broadcast()
+			s.mu.Unlock()
 		}
-		s.cancel()
-		s.signalFlush() // wake the worker if it is idle
-		s.wg.Wait()
-		s.mu.Lock()
-		s.bg = false
-		s.deferRetire = false
-		// The worker drained everything before exiting, but wake any
-		// stalled writer or waiting Flush so it re-checks under the new
-		// (synchronous) regime.
-		s.cond.Broadcast()
-		s.mu.Unlock()
+		if s.wal != nil {
+			if err := s.Checkpoint(); err != nil {
+				s.closeErr = err
+			}
+			if err := s.wal.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 	})
-	return nil
+	return s.closeErr
 }
 
 // Device exposes the I/O counters.
@@ -501,38 +591,92 @@ func (s *Store) probeFilter(contains func() bool) (ok, usable bool) {
 	return contains(), true
 }
 
-// Put inserts or updates a key.
+// Put inserts or updates a key. On a durable store a logging failure
+// is fatal (panic): acknowledging an unlogged write would break the
+// durability promise. Use Apply to handle the error instead.
 func (s *Store) Put(key, value uint64) {
-	s.write(Entry{Key: key, Value: value})
+	if err := s.Apply(Entry{Key: key, Value: value}); err != nil {
+		panic(fmt.Sprintf("lsm: put: %v", err))
+	}
 }
 
-// Delete removes a key (via tombstone).
+// Delete removes a key (via tombstone). See Put for the durable-mode
+// failure contract.
 func (s *Store) Delete(key uint64) {
-	s.write(Entry{Key: key, Tombstone: true})
+	if err := s.Apply(Entry{Key: key, Tombstone: true}); err != nil {
+		panic(fmt.Sprintf("lsm: delete: %v", err))
+	}
 }
 
-// write applies one mutation: stall if the flush backlog is over
-// budget, insert into the active memtable, and freeze it at the flush
-// trigger. The frozen memtable is flushed inline (synchronous mode) or
-// handed to the background worker.
-func (s *Store) write(e Entry) {
+// Apply applies a batch of mutations: stall if the flush backlog is
+// over budget, log the batch (durable stores), insert into the active
+// memtable, and freeze it at the flush trigger. The batch receives
+// consecutive log sequence numbers and enters the memtable atomically
+// with their assignment, so replay order equals apply order. On a
+// durable store Apply returns only once the batch is acknowledged
+// under the configured Durability mode — after the group-commit fsync
+// in DurabilityGroup/Always, after the OS write in DurabilityBuffered.
+// On a snapshot-only store it never fails.
+func (s *Store) Apply(entries ...Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
 	s.mu.Lock()
-	for s.bg && s.stalledLocked() {
+	for s.bg && s.bgErr == nil && s.stalledLocked() {
 		s.cond.Wait()
 	}
-	s.mem[e.Key] = e
+	if s.bgErr != nil {
+		err := s.bgErr
+		s.mu.Unlock()
+		return err
+	}
+	var target uint64
+	if s.wal != nil {
+		ops := make([]wal.Op, len(entries))
+		for i, e := range entries {
+			ops[i] = wal.Op{Key: e.Key, Value: e.Value, Tombstone: e.Tombstone}
+		}
+		lsn, err := s.wal.Enqueue(ops)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.lastLSN = lsn
+		target = lsn
+	}
+	for _, e := range entries {
+		s.mem[e.Key] = e
+	}
 	if len(s.mem) < s.opts.MemtableSize {
 		s.mu.Unlock()
-		return
+		if s.wal != nil {
+			return s.wal.Sync(target)
+		}
+		return nil
 	}
 	s.freezeLocked()
 	if s.bg {
 		s.mu.Unlock()
+		if s.wal != nil {
+			if err := s.wal.Sync(target); err != nil {
+				return err
+			}
+		}
 		s.signalFlush()
-		return
+		return nil
 	}
 	s.drainLocked()
 	s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	// Synchronous durable flush: acknowledge the batch, then fold the
+	// flushed tree into a durable checkpoint so the covered log
+	// segments can retire.
+	if err := s.wal.Sync(target); err != nil {
+		return err
+	}
+	return s.Checkpoint()
 }
 
 // stalledLocked reports whether a writer must wait for the engine:
@@ -578,19 +722,25 @@ func (s *Store) signalFlush() {
 // Flush forces the memtable down to level 0 and waits until every
 // frozen memtable has been flushed and compacted. In synchronous mode
 // this happens inline; in Background mode it blocks until the worker
-// drains the backlog.
+// drains the backlog. On a durable store Flush also writes a
+// checkpoint; a checkpoint failure is surfaced on the next Apply.
 func (s *Store) Flush() {
 	s.mu.Lock()
 	s.freezeLocked()
 	if !s.bg {
 		s.drainLocked()
 		s.mu.Unlock()
+		if s.wal != nil {
+			if err := s.Checkpoint(); err != nil {
+				s.setBgErr(err)
+			}
+		}
 		return
 	}
 	s.mu.Unlock()
 	s.signalFlush()
 	s.mu.Lock()
-	for s.bg && len(s.view.Load().frozen) > 0 {
+	for s.bg && s.bgErr == nil && len(s.view.Load().frozen) > 0 {
 		s.cond.Wait()
 	}
 	if !s.bg {
@@ -598,6 +748,17 @@ func (s *Store) Flush() {
 		// backlog inline.
 		s.drainLocked()
 	}
+	s.mu.Unlock()
+}
+
+// setBgErr records a sticky engine failure and wakes stalled writers
+// so they observe it.
+func (s *Store) setBgErr(err error) {
+	s.mu.Lock()
+	if s.bgErr == nil {
+		s.bgErr = err
+	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -619,12 +780,15 @@ func (s *Store) flusher() {
 
 // drainBackground flushes every pending frozen memtable, oldest first.
 // Engine work (merging, filter builds, device I/O) runs without mu;
-// only the view publication takes the write lock.
+// only the view publication takes the write lock. On a durable store
+// the drained backlog is folded into one checkpoint at the end, and a
+// checkpoint failure parks the store in a sticky error state.
 func (s *Store) drainBackground() {
+	flushed := false
 	for {
 		v := s.view.Load()
 		if len(v.frozen) == 0 {
-			return
+			break
 		}
 		fm := v.frozen[len(v.frozen)-1] // oldest
 		s.flushMem(fm)
@@ -632,7 +796,15 @@ func (s *Store) drainBackground() {
 		s.mu.Lock()
 		s.publishLocked(fm)
 		s.mu.Unlock()
-		s.finishRetired()
+		flushed = true
+		if s.wal == nil {
+			s.finishRetired()
+		}
+	}
+	if flushed && s.wal != nil {
+		if err := s.Checkpoint(); err != nil {
+			s.setBgErr(err)
+		}
 	}
 }
 

@@ -2,23 +2,28 @@ package lsm
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	iofs "io/fs"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"beyondbloom/internal/codec"
 	"beyondbloom/internal/core"
+	"beyondbloom/internal/fault"
 	"beyondbloom/internal/quotient"
+	"beyondbloom/internal/wal"
 )
 
 // ManifestName is the store's root metadata file inside a saved
 // directory. Each run stores its entries in run-<id>.bbr with its
 // filter (when the policy builds one) next to it in run-<id>.bbf, so a
 // run's data and its filter travel together the way an SSTable and its
-// filter block do.
+// filter block do. Durable stores add wal-*.bbl log segments (see the
+// wal package) alongside.
 const ManifestName = "MANIFEST"
 
 func runDataName(id uint64) string   { return fmt.Sprintf("run-%d.bbr", id) }
@@ -77,30 +82,40 @@ type manifestRun struct {
 	hasFilter bool
 }
 
-// Save persists the store's complete state into dir: the MANIFEST
-// (structural options, I/O counters, memtable, level structure, free
-// id pool, and — under PolicyMaplet — the global maplet), one .bbr
-// data file per run, and one .bbf filter file per filtered run. Run
-// files are encoded and written concurrently; they are independent
-// sibling frames. Function-valued options (range-filter builders,
-// fault injectors, retry policies) are not persisted — the caller
-// passes them again to OpenStore.
-//
-// Save is safe to call concurrently with queries, writes, and a
-// background compaction: it pins one view under the store mutex and
-// serializes that snapshot. Frozen memtables that have not flushed yet
-// are folded into the saved memtable image (newest writer wins), so no
-// committed entry is lost; the reopened store re-flushes them on its
-// own schedule.
-func (s *Store) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// writeFileAtomic writes data to path crash-atomically: the bytes land
+// in a temp file, are fsynced, and reach the final name by rename. A
+// crash leaves either the old file or the new one, never a torn mix.
+// The caller fsyncs the directory once after its batch of renames to
+// make the names themselves durable.
+func writeFileAtomic(fsys fault.FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
 		return err
 	}
-	// Pin the snapshot: the view plus a copy of the active memtable,
-	// taken under the mutex so no freeze or publish interleaves.
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}
+
+// pinSnapshot captures a consistent persistence image under the store
+// mutex: the current view, the folded memtable (frozen memtables plus
+// the active one, newest writer winning), and the last assigned log
+// sequence number. Every operation with an LSN at or below the
+// returned watermark is contained in (view, mem).
+func (s *Store) pinSnapshot() (v *view, mem map[uint64]Entry, watermark uint64) {
 	s.mu.Lock()
-	v := s.view.Load()
-	mem := make(map[uint64]Entry, len(s.mem))
+	v = s.view.Load()
+	mem = make(map[uint64]Entry, len(s.mem))
 	for i := len(v.frozen) - 1; i >= 0; i-- { // oldest first
 		for k, e := range v.frozen[i].entries {
 			mem[k] = e
@@ -109,7 +124,44 @@ func (s *Store) Save(dir string) error {
 	for k, e := range s.mem { // the active memtable is newest
 		mem[k] = e
 	}
+	watermark = s.lastLSN
 	s.mu.Unlock()
+	return v, mem, watermark
+}
+
+// Save persists the store's complete state into dir: the MANIFEST
+// (structural options, I/O counters, memtable, level structure, free
+// id pool, and — under PolicyMaplet — the global maplet), one .bbr
+// data file per run, and one .bbf filter file per filtered run. Every
+// file is written crash-atomically (temp + fsync + rename + directory
+// fsync), so a crash mid-Save can never corrupt an existing snapshot.
+// Run files are encoded and written concurrently; they are independent
+// sibling frames. Function-valued options (range-filter builders,
+// fault injectors, retry policies) are not persisted — the caller
+// passes them again to OpenStore.
+//
+// On a durable store, saving into the store's own directory is a
+// checkpoint (see Checkpoint); saving elsewhere writes a detached
+// snapshot that does not include the write-ahead log.
+//
+// Save is safe to call concurrently with queries, writes, and a
+// background compaction: it pins one view under the store mutex and
+// serializes that snapshot. Frozen memtables that have not flushed yet
+// are folded into the saved memtable image (newest writer wins), so no
+// committed entry is lost; the reopened store re-flushes them on its
+// own schedule.
+func (s *Store) Save(dir string) error {
+	if s.wal != nil && filepath.Clean(dir) == filepath.Clean(s.dir) {
+		return s.Checkpoint()
+	}
+	fsys := s.fs
+	if fsys == nil {
+		fsys = fault.Disk
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return err
+	}
+	v, mem, _ := s.pinSnapshot()
 	s.idMu.Lock()
 	nextID := s.nextID
 	freeIDs := append([]uint64(nil), s.freeIDs...)
@@ -125,7 +177,7 @@ func (s *Store) Save(dir string) error {
 		wg.Add(1)
 		go func(i int, r *run) {
 			defer wg.Done()
-			errs[i] = saveRunFiles(dir, r)
+			errs[i] = saveRunFiles(fsys, dir, r)
 		}(i, r)
 	}
 	wg.Wait()
@@ -134,7 +186,26 @@ func (s *Store) Save(dir string) error {
 			return err
 		}
 	}
+	// Run-file names durable before the manifest that references them.
+	if len(runs) > 0 {
+		if err := fsys.SyncDir(dir); err != nil {
+			return err
+		}
+	}
+	manifest, err := s.encodeManifest(v, mem, nextID, freeIDs, false, 0)
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(fsys, filepath.Join(dir, ManifestName), manifest); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
 
+// encodeManifest serializes the manifest frame for a pinned snapshot.
+// durable marks WAL checkpoints: watermark is then the LSN through
+// which (view, mem) is complete, so replay applies only newer records.
+func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, freeIDs []uint64, durable bool, watermark uint64) ([]byte, error) {
 	var e codec.Enc
 	// Structural options: a reopened store must rebuild the exact same
 	// level arithmetic and filter policy.
@@ -161,6 +232,10 @@ func (s *Store) Save(dir string) error {
 	// Run id allocation state.
 	e.U64(nextID)
 	e.U64s(freeIDs)
+	// Durability: whether this manifest is a WAL checkpoint, and the
+	// replay watermark.
+	e.Bool(durable)
+	e.U64(watermark)
 	// Memtable, sorted by key for a deterministic encoding.
 	memKeys := make([]uint64, 0, len(mem))
 	for k := range mem {
@@ -187,24 +262,24 @@ func (s *Store) Save(dir string) error {
 	e.Bool(s.maplet != nil)
 	if s.maplet != nil {
 		if _, err := s.maplet.WriteTo(&e); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	var buf bytes.Buffer
 	if _, err := codec.WriteFrame(&buf, core.TypeLSMManifest, e.Bytes()); err != nil {
-		return err
+		return nil, err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), buf.Bytes(), 0o644)
+	return buf.Bytes(), nil
 }
 
 // saveRunFiles writes one run's data file and, when present, its
-// filter file.
-func saveRunFiles(dir string, r *run) error {
+// filter file, each crash-atomically.
+func saveRunFiles(fsys fault.FS, dir string, r *run) error {
 	var buf bytes.Buffer
 	if _, err := r.writeTo(&buf); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, runDataName(r.id)), buf.Bytes(), 0o644); err != nil {
+	if err := writeFileAtomic(fsys, filepath.Join(dir, runDataName(r.id)), buf.Bytes()); err != nil {
 		return err
 	}
 	if r.filter == nil {
@@ -218,21 +293,151 @@ func saveRunFiles(dir string, r *run) error {
 	if _, err := core.Save(&buf, p); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, runFilterName(r.id)), buf.Bytes(), 0o644)
+	return writeFileAtomic(fsys, filepath.Join(dir, runFilterName(r.id)), buf.Bytes())
 }
 
-// OpenStore reopens a store saved by Save. Structural options come
-// from the manifest; any structural field the caller sets in opts must
-// agree with it (a mismatched geometry would silently change level
-// arithmetic). Function-valued options — the range-filter builder,
-// fault injectors, the retry policy — are taken from opts, since
-// functions cannot be persisted; range filters are rebuilt per run
-// from the reloaded keys. Run files load concurrently. The reopened
-// store's query behavior and I/O counters are identical to the saved
-// store's: the same lookups cost the same reads.
-func OpenStore(dir string, opts Options) (*Store, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+// Checkpoint forces a durable checkpoint of the store into its own
+// directory: unpersisted run files and a fresh manifest land
+// crash-atomically, then the WAL segments the manifest covers retire.
+// Durable stores checkpoint automatically at every flush; an explicit
+// call bounds replay work before a planned shutdown. It fails on a
+// snapshot-only store (use Save).
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return fmt.Errorf("lsm: Checkpoint requires a durable store (OpenStore with Options.Durability)")
+	}
+	if err := s.checkpoint(); err != nil {
+		return err
+	}
+	// Only now — with the stale files gone — may retired run ids be
+	// recycled and their maplet entries stripped.
+	s.finishRetired()
+	return nil
+}
+
+// checkpoint writes one full-consistency checkpoint. The protocol, in
+// crash-ordering terms:
+//
+//  1. Pin (view, folded memtable, watermark) under mu — complete
+//     through the watermark LSN by construction.
+//  2. Write run files the directory does not hold yet (temp + fsync +
+//     rename), then fsync the directory. Runs are immutable and ids
+//     recycle only after step 5 deletes stale files, so a persisted
+//     file never goes stale.
+//  3. Write the manifest the same way and fsync the directory. This
+//     rename is the commit point: before it the old checkpoint + WAL
+//     recover the store, after it the new one does.
+//  4. Advance the replay watermark.
+//  5. Garbage-collect: delete run files the new manifest no longer
+//     references and WAL segments at or below the watermark. A crash
+//     here only leaves debris for OpenStore's sweep.
+//
+// Serialized by ckptMu; the snapshot pin is the only step that takes
+// mu, so checkpoints run concurrently with writers and readers.
+func (s *Store) checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	v, mem, watermark := s.pinSnapshot()
+	s.idMu.Lock()
+	nextID := s.nextID
+	freeIDs := append([]uint64(nil), s.freeIDs...)
+	s.idMu.Unlock()
+
+	refs := make(map[uint64]*run)
+	ids := make([]uint64, 0, 16)
+	for _, level := range v.levels {
+		for _, r := range level {
+			refs[r.id] = r
+			ids = append(ids, r.id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] }) // deterministic I/O order
+	wrote := false
+	for _, id := range ids {
+		if _, ok := s.persisted[id]; ok {
+			continue
+		}
+		if err := saveRunFiles(s.fs, s.dir, refs[id]); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if wrote {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	manifest, err := s.encodeManifest(v, mem, nextID, freeIDs, true, watermark)
 	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.fs, filepath.Join(s.dir, ManifestName), manifest); err != nil {
+		return err
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return err
+	}
+	// Commit point passed: bookkeeping, then garbage collection.
+	for _, id := range ids {
+		s.persisted[id] = refs[id].filter != nil
+	}
+	if watermark > s.flushedLSN {
+		s.flushedLSN = watermark
+	}
+	stale := make([]uint64, 0, 4)
+	for id := range s.persisted {
+		if _, ok := refs[id]; !ok {
+			stale = append(stale, id)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, id := range stale {
+		if err := s.fs.Remove(filepath.Join(s.dir, runDataName(id))); err != nil {
+			return err
+		}
+		if s.persisted[id] {
+			if err := s.fs.Remove(filepath.Join(s.dir, runFilterName(id))); err != nil {
+				return err
+			}
+		}
+		delete(s.persisted, id)
+	}
+	if len(stale) > 0 {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			return err
+		}
+	}
+	return s.wal.Retire(s.flushedLSN)
+}
+
+// OpenStore reopens a store saved by Save (or maintained by durable
+// checkpoints). Structural options come from the manifest; any
+// structural field the caller sets in opts must agree with it (a
+// mismatched geometry would silently change level arithmetic).
+// Function-valued options — the range-filter builder, fault injectors,
+// the retry policy — are taken from opts, since functions cannot be
+// persisted; range filters are rebuilt per run from the reloaded keys.
+// Run files load concurrently. The reopened store's query behavior and
+// I/O counters are identical to the saved store's: the same lookups
+// cost the same reads.
+//
+// With Options.Durability set, OpenStore also recovers the write-ahead
+// log: surviving segments replay into the memtable (torn tails are
+// repaired, crash debris is swept), and an absent manifest bootstraps
+// a fresh durable store in dir. A directory whose manifest came from a
+// durable checkpoint refuses to open with DurabilityNone — silently
+// ignoring its log would drop acknowledged writes.
+func OpenStore(dir string, opts Options) (*Store, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = fault.Disk
+	}
+	want := opts.Durability
+	raw, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		if want != DurabilityNone && errors.Is(err, iofs.ErrNotExist) {
+			return bootstrapDurable(dir, opts, fsys)
+		}
 		return nil, err
 	}
 	payload, err := codec.ReadFrame(bytes.NewReader(raw), core.TypeLSMManifest)
@@ -253,6 +458,8 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	}
 	nextID := d.U64()
 	freeIDs := d.U64s()
+	durable := d.Bool()
+	watermark := d.U64()
 	memCount := d.U64()
 	if d.Err() == nil && memCount > uint64(d.Remaining())/entryBytes {
 		return nil, d.Corruptf("lsm: manifest claims %d memtable entries in %d bytes", memCount, d.Remaining())
@@ -305,6 +512,9 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	if nextID >= 1<<16 {
 		return nil, fmt.Errorf("%w: lsm: next run id %d out of the 16-bit id space", codec.ErrCorrupt, nextID)
 	}
+	if durable && want == DurabilityNone {
+		return nil, fmt.Errorf("lsm: %s was written by a durable store; set Options.Durability to open it (its write-ahead log would be silently dropped otherwise)", dir)
+	}
 
 	opts.MemtableSize = memtableSize
 	opts.SizeRatio = sizeRatio
@@ -316,6 +526,7 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	// starting any background engine, so the worker never races the load.
 	wantBackground := opts.Background
 	opts.Background = false
+	opts.Durability = DurabilityNone
 	s, err := NewStore(opts)
 	if err != nil {
 		return nil, err
@@ -356,7 +567,7 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 		wg.Add(1)
 		go func(i int, sl slot) {
 			defer wg.Done()
-			runs[i], errs[i] = loadRunFiles(dir, sl.mr, sl.level, opts.RangeFilter)
+			runs[i], errs[i] = loadRunFiles(fsys, dir, sl.mr, sl.level, opts.RangeFilter)
 		}(i, sl)
 	}
 	wg.Wait()
@@ -375,16 +586,130 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 		}
 		s.runByID[r.id] = r
 	}
-	// Publish the loaded tree as the initial view, then (only now) start
-	// the background engine if the caller asked for one.
+	// Publish the loaded tree as the initial view, then recover the log
+	// and (only now) start the background engine if the caller asked for
+	// one.
 	s.mu.Lock()
 	s.publishLocked(nil)
 	s.mu.Unlock()
+	if want != DurabilityNone {
+		s.persisted = make(map[uint64]bool, totalRuns)
+		for _, level := range levelRuns {
+			for _, mr := range level {
+				s.persisted[mr.id] = mr.hasFilter
+			}
+		}
+		if err := s.attachWAL(dir, fsys, want, watermark, durable); err != nil {
+			return nil, err
+		}
+	}
 	if wantBackground {
 		s.startBackground()
 	}
 	return s, nil
 }
+
+// bootstrapDurable starts a fresh durable store in an empty (or
+// crash-interrupted pre-first-checkpoint) directory: no manifest yet,
+// but any surviving WAL segments replay — a crash before the first
+// checkpoint must not lose acknowledged writes.
+func bootstrapDurable(dir string, opts Options, fsys fault.FS) (*Store, error) {
+	want := opts.Durability
+	wantBackground := opts.Background
+	opts.Durability = DurabilityNone
+	opts.Background = false
+	s, err := NewStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	if err := s.attachWAL(dir, fsys, want, 0, true); err != nil {
+		return nil, err
+	}
+	if wantBackground {
+		s.startBackground()
+	}
+	return s, nil
+}
+
+// attachWAL turns a freshly constructed store durable: it sweeps crash
+// debris out of dir, opens the log (repairing any torn tail), and
+// replays every record above the checkpoint watermark into the
+// memtable. hadWAL distinguishes directories where segments are
+// legitimate from snapshot-only directories where they would be
+// ambiguous.
+func (s *Store) attachWAL(dir string, fsys fault.FS, want Durability, watermark uint64, hadWAL bool) error {
+	s.dir, s.fs = dir, fsys
+	s.opts.Durability = want
+	s.deferRetire = true
+	if s.persisted == nil {
+		s.persisted = make(map[uint64]bool)
+	}
+	s.flushedLSN = watermark
+	// Sweep crash debris: temp files and run files no checkpoint
+	// references (a crash between a checkpoint's manifest commit and its
+	// garbage collection leaves both; volatile removes can resurrect).
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, name := range names {
+		if name == ManifestName {
+			continue
+		}
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".bbl") {
+			if !hadWAL {
+				return fmt.Errorf("lsm: %s holds WAL segments but its manifest is not a durable checkpoint; refusing to guess which is authoritative", dir)
+			}
+			continue
+		}
+		drop := strings.HasSuffix(name, ".tmp")
+		if !drop {
+			var id uint64
+			if n, _ := fmt.Sscanf(name, "run-%d.bbr", &id); n == 1 && strings.HasSuffix(name, ".bbr") {
+				_, keep := s.persisted[id]
+				drop = !keep
+			} else if n, _ := fmt.Sscanf(name, "run-%d.bbf", &id); n == 1 && strings.HasSuffix(name, ".bbf") {
+				_, keep := s.persisted[id]
+				drop = !keep
+			}
+		}
+		if drop {
+			if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	if removed {
+		if err := fsys.SyncDir(dir); err != nil {
+			return err
+		}
+	}
+	wl, err := wal.Open(dir, wal.Options{
+		FS:           fsys,
+		SegmentBytes: s.opts.WALSegmentBytes,
+		Mode:         walMode(want),
+		FloorLSN:     watermark,
+	}, func(lsn uint64, op wal.Op) {
+		// Open replays only records above the watermark (FloorLSN);
+		// everything else is folded into the checkpoint image already.
+		s.mem[op.Key] = Entry{Key: op.Key, Value: op.Value, Tombstone: op.Tombstone}
+	})
+	if err != nil {
+		return err
+	}
+	s.wal = wl
+	s.lastLSN = wl.LastLSN()
+	return nil
+}
+
+// WAL exposes the store's write-ahead log (nil on snapshot-only
+// stores) for stats and diagnostics.
+func (s *Store) WAL() *wal.Log { return s.wal }
 
 // checkStructural rejects caller-set structural options that disagree
 // with the manifest.
@@ -413,8 +738,8 @@ func checkStructural(opts *Options, memtableSize, sizeRatio int, policy FilterPo
 // loadRunFiles reads one run's data file, its filter file when the
 // manifest promises one, and rebuilds its range filter from the
 // reloaded keys when a builder is configured.
-func loadRunFiles(dir string, mr manifestRun, level int, rangeBuilder RangeFilterBuilder) (*run, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, runDataName(mr.id)))
+func loadRunFiles(fsys fault.FS, dir string, mr manifestRun, level int, rangeBuilder RangeFilterBuilder) (*run, error) {
+	raw, err := fsys.ReadFile(filepath.Join(dir, runDataName(mr.id)))
 	if err != nil {
 		return nil, fmt.Errorf("lsm: run %d: %w", mr.id, err)
 	}
@@ -430,7 +755,7 @@ func loadRunFiles(dir string, mr manifestRun, level int, rangeBuilder RangeFilte
 			codec.ErrCorrupt, r.id, r.level, level)
 	}
 	if mr.hasFilter {
-		fraw, err := os.ReadFile(filepath.Join(dir, runFilterName(mr.id)))
+		fraw, err := fsys.ReadFile(filepath.Join(dir, runFilterName(mr.id)))
 		if err != nil {
 			return nil, fmt.Errorf("lsm: run %d filter: %w", mr.id, err)
 		}

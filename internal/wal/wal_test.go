@@ -1,0 +1,426 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/fault"
+)
+
+// collect replays a log directory into an ordered op list.
+func collect(t *testing.T, dir string, opts Options) ([]Op, []uint64, *Log) {
+	t.Helper()
+	var ops []Op
+	var lsns []uint64
+	l, err := Open(dir, opts, func(lsn uint64, op Op) {
+		ops = append(ops, op)
+		lsns = append(lsns, lsn)
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return ops, lsns, l
+}
+
+func put(k, v uint64) Op { return Op{Key: k, Value: v} }
+func del(k uint64) Op    { return Op{Key: k, Tombstone: true} }
+func opsEq(a, b []Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundTrip: append batches in every mode, reopen, replay exactly.
+func TestRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeGroup, ModeAlways, ModeBuffered} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{Mode: mode}
+			_, _, l := collect(t, dir, opts)
+			want := []Op{put(1, 10), put(2, 20), del(1), put(3, 30)}
+			if _, err := l.Append(want[:2]); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			lsn, err := l.Append(want[2:])
+			if err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			if lsn != 4 {
+				t.Fatalf("last LSN = %d, want 4", lsn)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			got, lsns, l2 := collect(t, dir, opts)
+			defer l2.Close()
+			if !opsEq(got, want) {
+				t.Fatalf("replay = %+v, want %+v", got, want)
+			}
+			for i, lsn := range lsns {
+				if lsn != uint64(i+1) {
+					t.Fatalf("lsn[%d] = %d", i, lsn)
+				}
+			}
+			if next, err := l2.Enqueue([]Op{put(9, 9)}); err != nil || next != 5 {
+				t.Fatalf("post-replay Enqueue = %d, %v; want 5", next, err)
+			}
+		})
+	}
+}
+
+// TestRotation: a tiny segment cap produces multiple segments that all
+// replay in order; rotation syncs are counted.
+func TestRotation(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 128}
+	_, _, l := collect(t, dir, opts)
+	var want []Op
+	for i := uint64(1); i <= 40; i++ {
+		op := put(i, i*i)
+		want = append(want, op)
+		if _, err := l.Append([]Op{op}); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	st := l.Stats()
+	if st.Rotations == 0 {
+		t.Fatalf("no rotations at SegmentBytes=128: %+v", st)
+	}
+	if l.Segments() != int(st.Rotations)+1 {
+		t.Fatalf("Segments = %d, rotations = %d", l.Segments(), st.Rotations)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, l2 := collect(t, dir, opts)
+	defer l2.Close()
+	if !opsEq(got, want) {
+		t.Fatalf("replay mismatch: %d ops, want %d", len(got), len(want))
+	}
+}
+
+// TestRetire: segments fully covered by the watermark are deleted and
+// the remainder still replays.
+func TestRetire(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 128}
+	_, _, l := collect(t, dir, opts)
+	var want []Op
+	for i := uint64(1); i <= 40; i++ {
+		want = append(want, put(i, i))
+		if _, err := l.Append(want[len(want)-1:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Segments()
+	watermark := uint64(20)
+	if err := l.Retire(watermark); err != nil {
+		t.Fatalf("Retire: %v", err)
+	}
+	if st := l.Stats(); st.Retired == 0 {
+		t.Fatalf("retired nothing (segments before=%d)", before)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, lsns, l2 := collect(t, dir, opts)
+	defer l2.Close()
+	if len(got) == 0 || len(got) >= len(want) {
+		t.Fatalf("replayed %d of %d ops after retire", len(got), len(want))
+	}
+	// Whatever survives must be a contiguous suffix ending at LSN 40,
+	// and nothing above the watermark may be missing.
+	if lsns[0] > watermark+1 {
+		t.Fatalf("first surviving LSN %d lost ops above watermark %d", lsns[0], watermark)
+	}
+	if lsns[len(lsns)-1] != 40 {
+		t.Fatalf("last surviving LSN = %d, want 40", lsns[len(lsns)-1])
+	}
+	for i, lsn := range lsns {
+		if op := want[lsn-1]; got[i] != op {
+			t.Fatalf("lsn %d replayed %+v, want %+v", lsn, got[i], op)
+		}
+	}
+}
+
+// TestFloorLSN: the floor keeps retired LSNs from being reassigned even
+// when no segment survives to prove they existed.
+func TestFloorLSN(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collect(t, dir, Options{FloorLSN: 100})
+	lsn, err := l.Append([]Op{put(1, 1)})
+	if err != nil || lsn != 101 {
+		t.Fatalf("Append above floor = %d, %v; want 101", lsn, err)
+	}
+	l.Close()
+}
+
+// TestTornTailRepair: crash mid-write leaves a torn final record; Open
+// truncates it and replays exactly the durable prefix.
+func TestTornTailRepair(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		fs := fault.NewCrashFS(seed)
+		opts := Options{FS: fs, SegmentBytes: 1 << 20}
+		l, err := Open("w", opts, func(uint64, Op) {})
+		if err != nil {
+			t.Fatalf("seed %d: Open: %v", seed, err)
+		}
+		if _, err := l.Append([]Op{put(1, 1), put(2, 2)}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The next record crashes mid-write: a torn suffix of its frame
+		// may land on disk, but it was never acknowledged.
+		fs.CrashAfter(1)
+		if _, err := l.Append([]Op{put(3, 3)}); !errors.Is(err, fault.ErrCrashed) {
+			t.Fatalf("seed %d: expected crash, got %v", seed, err)
+		}
+
+		rec := fs.Recover()
+		var got []Op
+		l2, err := Open("w", Options{FS: rec}, func(_ uint64, op Op) { got = append(got, op) })
+		if err != nil {
+			t.Fatalf("seed %d: reopen: %v", seed, err)
+		}
+		if !opsEq(got, []Op{put(1, 1), put(2, 2)}) {
+			t.Fatalf("seed %d: replay = %+v", seed, got)
+		}
+		// The log must keep working after the repair.
+		if lsn, err := l2.Append([]Op{put(4, 4)}); err != nil || lsn != 3 {
+			t.Fatalf("seed %d: post-repair Append = %d, %v", seed, lsn, err)
+		}
+		l2.Close()
+	}
+}
+
+// TestTornMiddleFatal: damage in a non-final segment is corruption, not
+// a repairable crash artifact.
+func TestTornMiddleFatal(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 128}
+	_, _, l := collect(t, dir, opts)
+	for i := uint64(1); i <= 40; i++ {
+		if _, err := l.Append([]Op{put(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("want ≥3 segments, got %d", l.Segments())
+	}
+	l.Close()
+	names, err := fault.Disk.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the FIRST segment.
+	first := dir + "/" + names[0]
+	data, err := fault.Disk.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	h, err := fault.Disk.Create(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write(data)
+	h.Close()
+	if _, err := Open(dir, opts, func(uint64, Op) {}); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("corrupt middle segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLSNGapRejected: a checksum-valid record that skips LSNs is
+// corruption — replay can never invent or reorder history.
+func TestLSNGapRejected(t *testing.T) {
+	good := encodeRecord(1, []Op{put(1, 1)})
+	gap := encodeRecord(3, []Op{put(3, 3)}) // should be 2
+	data := append(append([]byte{}, good...), gap...)
+	validLen, _, last, err := ScanSegment(data, func(uint64, Op) error { return nil })
+	if !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("LSN gap: err = %v, want ErrCorrupt", err)
+	}
+	if validLen != len(good) || last != 1 {
+		t.Fatalf("validLen = %d (want %d), last = %d", validLen, len(good), last)
+	}
+}
+
+// TestScanSegmentGarbageSuffix: arbitrary trailing bytes never panic
+// and never produce extra records.
+func TestScanSegmentGarbageSuffix(t *testing.T) {
+	want := []Op{put(1, 10), del(2), put(3, 30)}
+	seg := append(encodeRecord(1, want[:2]), encodeRecord(3, want[2:])...)
+	suffixes := [][]byte{
+		{},
+		{0x00},
+		bytes.Repeat([]byte{0xFF}, 64),
+		seg[:11],                          // torn copy of a real frame
+		encodeRecord(99, []Op{put(9, 9)}), // valid frame, wrong LSN
+	}
+	for i, suf := range suffixes {
+		data := append(append([]byte{}, seg...), suf...)
+		var got []Op
+		validLen, first, last, err := ScanSegment(data, func(_ uint64, op Op) error {
+			got = append(got, op)
+			return nil
+		})
+		if !opsEq(got, want) {
+			t.Fatalf("suffix %d: replayed %+v, want %+v", i, got, want)
+		}
+		if validLen != len(seg) {
+			t.Fatalf("suffix %d: validLen = %d, want %d", i, validLen, len(seg))
+		}
+		if first != 1 || last != 3 {
+			t.Fatalf("suffix %d: first,last = %d,%d", i, first, last)
+		}
+		if len(suf) > 0 && err == nil {
+			t.Fatalf("suffix %d: trailing garbage scanned cleanly", i)
+		}
+	}
+}
+
+// TestGroupCommitConcurrent: concurrent writers all get durable acks,
+// replay holds every acknowledged op, and fsyncs are shared.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Mode: ModeGroup}
+	_, _, l := collect(t, dir, opts)
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := uint64(w*perWriter + i + 1)
+				if _, err := l.Append([]Op{put(key, key)}); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Ops != writers*perWriter {
+		t.Fatalf("Ops = %d", st.Ops)
+	}
+	if st.Syncs >= st.Ops {
+		t.Fatalf("no batching: %d syncs for %d ops", st.Syncs, st.Ops)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, l2 := collect(t, dir, opts)
+	defer l2.Close()
+	seen := map[uint64]bool{}
+	for _, op := range got {
+		seen[op.Key] = true
+	}
+	for k := uint64(1); k <= writers*perWriter; k++ {
+		if !seen[k] {
+			t.Fatalf("acknowledged key %d missing from replay", k)
+		}
+	}
+}
+
+// TestBufferedAcksWithoutFsync: ModeBuffered acknowledges at write,
+// not fsync, and a crash may lose the buffered tail — but replay is
+// still a clean prefix.
+func TestBufferedAcksWithoutFsync(t *testing.T) {
+	fs := fault.NewCrashFS(17)
+	l, err := Open("w", Options{FS: fs, Mode: ModeBuffered}, func(uint64, Op) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if _, err := l.Append([]Op{put(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Syncs != 0 {
+		t.Fatalf("buffered mode fsynced %d times", st.Syncs)
+	}
+	if l.DurableLSN() != 0 {
+		t.Fatalf("DurableLSN = %d in buffered mode", l.DurableLSN())
+	}
+	fs.CrashAfter(1)
+	l.Append([]Op{put(99, 99)})
+	var got []Op
+	l2, err := Open("w", Options{FS: fs.Recover()}, func(_ uint64, op Op) { got = append(got, op) })
+	if err != nil {
+		t.Fatalf("reopen after buffered crash: %v", err)
+	}
+	defer l2.Close()
+	for i, op := range got {
+		if want := put(uint64(i+1), uint64(i+1)); op != want {
+			t.Fatalf("replay[%d] = %+v, want %+v (prefix consistency)", i, op, want)
+		}
+	}
+}
+
+// TestStickyError: after an I/O failure every subsequent call fails.
+func TestStickyError(t *testing.T) {
+	fs := fault.NewCrashFS(23)
+	l, err := Open("w", Options{FS: fs}, func(uint64, Op) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAfter(1)
+	if _, err := l.Append([]Op{put(1, 1)}); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("crashing append: %v", err)
+	}
+	if _, err := l.Append([]Op{put(2, 2)}); err == nil {
+		t.Fatal("append after failure succeeded")
+	}
+	if err := l.Sync(1); err == nil {
+		t.Fatal("sync after failure succeeded")
+	}
+}
+
+// TestClosedLog: operations on a closed log fail with ErrClosed.
+func TestClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collect(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Enqueue([]Op{put(1, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// TestCloseFlushesPending: enqueued-but-unsynced records survive a
+// clean Close.
+func TestCloseFlushesPending(t *testing.T) {
+	dir := t.TempDir()
+	_, _, l := collect(t, dir, Options{})
+	if _, err := l.Enqueue([]Op{put(1, 1), put(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, l2 := collect(t, dir, Options{})
+	defer l2.Close()
+	if !opsEq(got, []Op{put(1, 1), put(2, 2)}) {
+		t.Fatalf("pending records lost on Close: %+v", got)
+	}
+}

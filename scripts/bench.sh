@@ -1,9 +1,10 @@
 #!/bin/sh
 # Run the batched-vs-scalar filter benchmarks (-> BENCH_batch.json, see
 # batch_bench_test.go), the persistence codec benchmarks
-# (-> BENCH_persist.json, see persist_bench_test.go), and the
+# (-> BENCH_persist.json, see persist_bench_test.go), the
 # concurrent LSM store benchmarks (-> BENCH_lsm_concurrent.json, see
-# lsm_concurrent_bench_test.go).
+# lsm_concurrent_bench_test.go), and the WAL durability ablation
+# (-> BENCH_wal.json, see exp_wal.go).
 # Setup builds multi-MB filters, so a full run takes a few minutes.
 set -eu
 cd "$(dirname "$0")/.."
@@ -28,3 +29,8 @@ go test -run '^$' -bench 'LSMConcurrent' \
 	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
 python3 scripts/bench_to_json.py <"$RAW" >BENCH_lsm_concurrent.json
 echo "wrote BENCH_lsm_concurrent.json"
+
+echo "== exp E19 (WAL crash sweep + durability latency ablation) =="
+go run ./cmd/beyondbloom exp E19 | tee "$RAW"
+python3 scripts/wal_bench_to_json.py <"$RAW" >BENCH_wal.json
+echo "wrote BENCH_wal.json"

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Convert `beyondbloom exp E19` output into BENCH_wal.json.
+
+Reads the experiment's rendered tables on stdin and writes JSON on
+stdout:
+
+  {
+    "meta": {"experiment": "E19", "puts": ..., "writers": ...},
+    "crash_sweep": [{"mode", "crash_points", "recovered",
+                     "lost_acked", "invented", "torn_repairs"}, ...],
+    "latency": [{"mode", "mputs_per_sec", "p50_us", "p99_us",
+                 "p99_9_us", "fsyncs_per_1k"}, ...],
+    "acceptance": {"group_p99_9_over_no_wal": ..., "within_2x": ...,
+                   "lost_acked_total": ..., "invented_total": ...}
+  }
+
+The percentile columns come from the E19b table (per-put latency under
+concurrent writers on the simulated device — see exp_wal.go), which
+bench_to_json.py cannot produce from `go test -bench` ns/op lines.
+"""
+
+import json
+import re
+import sys
+
+E19B_META_RE = re.compile(r"E19b:.*\(puts=(\d+), writers=(\d+)\)")
+SWEEP_MODES = {"group", "always", "buffered"}
+LAT_MODES = {"no_wal", "buffered", "group_commit", "fsync_per_op"}
+
+
+def parse(lines):
+    meta = {"experiment": "E19", "puts": None, "writers": None}
+    sweep, lat = [], []
+    in_e19b = False
+    for line in lines:
+        m = E19B_META_RE.search(line)
+        if m:
+            in_e19b = True
+            meta["puts"] = int(m.group(1))
+            meta["writers"] = int(m.group(2))
+            continue
+        fields = line.split()
+        if len(fields) != 6:
+            continue
+        if not in_e19b and fields[0] in SWEEP_MODES:
+            sweep.append(
+                {
+                    "mode": fields[0],
+                    "crash_points": int(fields[1]),
+                    "recovered": int(fields[2]),
+                    "lost_acked": int(fields[3]),
+                    "invented": int(fields[4]),
+                    "torn_repairs": int(fields[5]),
+                }
+            )
+        elif in_e19b and fields[0] in LAT_MODES:
+            lat.append(
+                {
+                    "mode": fields[0],
+                    "mputs_per_sec": float(fields[1]),
+                    "p50_us": float(fields[2]),
+                    "p99_us": float(fields[3]),
+                    "p99_9_us": float(fields[4]),
+                    "fsyncs_per_1k": float(fields[5]),
+                }
+            )
+    return meta, sweep, lat
+
+
+def main():
+    meta, sweep, lat = parse(sys.stdin)
+    by_mode = {row["mode"]: row for row in lat}
+    acceptance = {
+        "lost_acked_total": sum(r["lost_acked"] for r in sweep),
+        "invented_total": sum(r["invented"] for r in sweep),
+    }
+    if "no_wal" in by_mode and "group_commit" in by_mode:
+        base = by_mode["no_wal"]["p99_9_us"]
+        ratio = by_mode["group_commit"]["p99_9_us"] / base if base else None
+        acceptance["group_p99_9_over_no_wal"] = (
+            round(ratio, 3) if ratio is not None else None
+        )
+        acceptance["within_2x"] = ratio is not None and ratio <= 2.0
+    if not sweep or not lat:
+        sys.exit("wal_bench_to_json: no E19 tables found on stdin")
+    json.dump(
+        {
+            "meta": meta,
+            "crash_sweep": sweep,
+            "latency": lat,
+            "acceptance": acceptance,
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
