@@ -24,8 +24,9 @@ const (
 	TypeSharded      uint16 = 21 // concurrent.Sharded
 
 	// Application-layer kinds (not filters; decoded by their owners).
-	TypeLSMManifest uint16 = 32 // lsm store manifest
-	TypeLSMRun      uint16 = 33 // lsm run data file
+	TypeLSMManifest   uint16 = 32 // lsm store manifest, v1 layout (pre-durability)
+	TypeLSMRun        uint16 = 33 // lsm run data file
+	TypeLSMManifestV2 uint16 = 34 // lsm store manifest with durability fields
 )
 
 // Persistent is a filter that can serialize its complete state to a

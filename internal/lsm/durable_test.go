@@ -267,3 +267,138 @@ func TestDurableApplyBatch(t *testing.T) {
 		t.Fatal("tombstoned key 3 present")
 	}
 }
+
+// TestCheckpointKeepsReferencedRetiredRuns: a run retired by a
+// concurrent flush/compaction AFTER a checkpoint pinned its snapshot
+// is still referenced by that checkpoint's manifest, so the
+// checkpoint must neither recycle its id nor forget its file — only a
+// later checkpoint that commits without the run may. (Regression: the
+// checkpoint used to drain the whole deferred-retirement list, so a
+// reused id's file was skipped by the next checkpoint and the
+// manifest pointed at stale data.)
+func TestCheckpointKeepsReferencedRetiredRuns(t *testing.T) {
+	fs := fault.NewCrashFS(8)
+	s, err := OpenStore("db", durableOpts(DurabilityGroup, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 40; k++ { // several flushes + checkpoints
+		s.Put(k, k)
+	}
+	v := s.view.Load()
+	var live *run
+	for _, level := range v.levels {
+		if len(level) > 0 {
+			live = level[0]
+			break
+		}
+	}
+	if live == nil {
+		t.Fatal("no runs after 40 puts")
+	}
+	// Simulate the race: `live` lands on the deferred-retirement list
+	// (as a concurrent compaction would put it, between this
+	// checkpoint's pin and its drain) while the view — and therefore
+	// the manifest about to be written — still references it.
+	s.retMu.Lock()
+	s.retired = append(s.retired, live)
+	s.retMu.Unlock()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	s.idMu.Lock()
+	for _, id := range s.freeIDs {
+		if id == live.id {
+			t.Fatalf("id %d recycled while the manifest still references run %d", id, live.id)
+		}
+	}
+	s.idMu.Unlock()
+	if _, ok := s.persisted[live.id]; !ok {
+		t.Fatalf("run %d dropped from the persisted set while referenced", live.id)
+	}
+	s.retMu.Lock()
+	kept := false
+	remaining := s.retired[:0]
+	for _, r := range s.retired {
+		if r == live {
+			kept = true
+		} else {
+			remaining = append(remaining, r)
+		}
+	}
+	s.retired = remaining // undo the simulation before Close
+	s.retMu.Unlock()
+	if !kept {
+		t.Fatal("referenced retired run left the deferred list at the checkpoint that still references it")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenStore("db", durableOpts(DurabilityGroup, fs.Recover()))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for k := uint64(1); k <= 40; k++ {
+		if v, ok := r.Get(k); !ok || v != k {
+			t.Fatalf("key %d = %d, %v", k, v, ok)
+		}
+	}
+}
+
+// TestDurableConcurrentCheckpoints: explicit checkpoints racing
+// concurrent writers and the background engine never lose an
+// acknowledged write across close + reopen. Run with -race.
+func TestDurableConcurrentCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		MemtableSize: 16,
+		Policy:       PolicyMaplet,
+		Background:   true,
+		Durability:   DurabilityGroup,
+	}
+	s, err := OpenStore(filepath.Join(dir, "db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 3, 150
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := uint64(w*perWriter + i + 1)
+				s.Put(k, k*7)
+			}
+		}(w)
+	}
+	ckErrs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			if err := s.Checkpoint(); err != nil {
+				ckErrs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(ckErrs)
+	for err := range ckErrs {
+		t.Fatalf("concurrent Checkpoint: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := OpenStore(filepath.Join(dir, "db"), opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	for k := uint64(1); k <= writers*perWriter; k++ {
+		if v, ok := r.Get(k); !ok || v != k*7 {
+			t.Fatalf("acknowledged key %d lost (= %d, %v)", k, v, ok)
+		}
+	}
+}

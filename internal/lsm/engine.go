@@ -198,9 +198,10 @@ func (s *Store) mapletPut(key, runID uint64) {
 // the spot (the deterministic legacy order); in Background mode both
 // steps wait until after the view swap (finishRetired), so a concurrent
 // reader holding stale maplet candidates still finds the run's data.
-// Durable stores always defer: a retired id may be recycled only after
-// the checkpoint that stops referencing the run has deleted its files,
-// or a recycled id's fresh data could collide with a stale file.
+// Durable stores always defer, and drain inside checkpoint() instead: a
+// retired id may be recycled only after a committed manifest stops
+// referencing the run and its files are deleted, or a recycled id's
+// fresh data could collide with a stale file.
 func (s *Store) retireRun(old *run) {
 	delete(s.runByID, old.id)
 	if s.deferRetire {
@@ -212,26 +213,29 @@ func (s *Store) retireRun(old *run) {
 	s.recycleRun(old)
 }
 
-// recycleRun returns a retired run's id to the pool and deletes its
-// maplet entries.
+// recycleRun deletes a retired run's maplet entries, then returns its
+// id to the pool. The maplet deletes come first: once the id is in the
+// pool a concurrent allocator may reuse it and insert fresh entries
+// under it, which in-flight deletes for the old incarnation would
+// wrongly strip.
 func (s *Store) recycleRun(old *run) {
+	if s.maplet != nil {
+		for _, e := range old.entries {
+			// The entry may have been re-pointed already; delete is best
+			// effort keyed by (key, old run id).
+			_ = s.maplet.Delete(e.Key, old.id)
+		}
+	}
 	s.idMu.Lock()
 	s.freeIDs = append(s.freeIDs, old.id)
 	s.idMu.Unlock()
-	if s.maplet == nil {
-		return
-	}
-	for _, e := range old.entries {
-		// The entry may have been re-pointed already; delete is best
-		// effort keyed by (key, old run id).
-		_ = s.maplet.Delete(e.Key, old.id)
-	}
 }
 
 // finishRetired performs the deferred half of retirement: maplet
 // deletions and id recycling, strictly after the view swap that
-// removed the runs (retire-after-swap) — and, on a durable store,
-// strictly after the checkpoint that deleted their files.
+// removed the runs (retire-after-swap). Only non-durable Background
+// stores use it; durable stores drain selectively inside checkpoint(),
+// after the commit that stops referencing the runs.
 func (s *Store) finishRetired() {
 	s.retMu.Lock()
 	retired := s.retired

@@ -205,6 +205,12 @@ func (s *Store) Save(dir string) error {
 // encodeManifest serializes the manifest frame for a pinned snapshot.
 // durable marks WAL checkpoints: watermark is then the LSN through
 // which (view, mem) is complete, so replay applies only newer records.
+// The frame kind is TypeLSMManifestV2: the durability fields extended
+// the v1 layout mid-stream, so v2 is a distinct kind rather than a
+// silent relayout — OpenStore still decodes v1 manifests (durable
+// false, watermark zero by construction), and an image from a format
+// newer than both fails with a clear kind error instead of a
+// misparse.
 func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, freeIDs []uint64, durable bool, watermark uint64) ([]byte, error) {
 	var e codec.Enc
 	// Structural options: a reopened store must rebuild the exact same
@@ -266,7 +272,7 @@ func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, fre
 		}
 	}
 	var buf bytes.Buffer
-	if _, err := codec.WriteFrame(&buf, core.TypeLSMManifest, e.Bytes()); err != nil {
+	if _, err := codec.WriteFrame(&buf, core.TypeLSMManifestV2, e.Bytes()); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -306,13 +312,7 @@ func (s *Store) Checkpoint() error {
 	if s.wal == nil {
 		return fmt.Errorf("lsm: Checkpoint requires a durable store (OpenStore with Options.Durability)")
 	}
-	if err := s.checkpoint(); err != nil {
-		return err
-	}
-	// Only now — with the stale files gone — may retired run ids be
-	// recycled and their maplet entries stripped.
-	s.finishRetired()
-	return nil
+	return s.checkpoint()
 }
 
 // checkpoint writes one full-consistency checkpoint. The protocol, in
@@ -331,6 +331,12 @@ func (s *Store) Checkpoint() error {
 //  5. Garbage-collect: delete run files the new manifest no longer
 //     references and WAL segments at or below the watermark. A crash
 //     here only leaves debris for OpenStore's sweep.
+//  6. Recycle retired run ids — but only those the committed manifest
+//     does not reference. A run retired by a concurrent flush or
+//     compaction after step 1's pin is still named by this manifest
+//     (its file must survive, its id must stay out of circulation);
+//     it stays on the deferred list until a later checkpoint commits
+//     without it.
 //
 // Serialized by ckptMu; the snapshot pin is the only step that takes
 // mu, so checkpoints run concurrently with writers and readers.
@@ -407,7 +413,29 @@ func (s *Store) checkpoint() error {
 			return err
 		}
 	}
-	return s.wal.Retire(s.flushedLSN)
+	if err := s.wal.Retire(s.flushedLSN); err != nil {
+		return err
+	}
+	// Step 6: recycle retired runs the committed manifest no longer
+	// references — their files are gone (deleted above, or never
+	// written). Runs retired after the pin may still be referenced by
+	// this very manifest, so they stay deferred.
+	s.retMu.Lock()
+	kept := s.retired[:0]
+	var recyclable []*run
+	for _, old := range s.retired {
+		if _, referenced := refs[old.id]; referenced {
+			kept = append(kept, old)
+		} else {
+			recyclable = append(recyclable, old)
+		}
+	}
+	s.retired = kept
+	s.retMu.Unlock()
+	for _, old := range recyclable {
+		s.recycleRun(old)
+	}
+	return nil
 }
 
 // OpenStore reopens a store saved by Save (or maintained by durable
@@ -440,7 +468,18 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 		}
 		return nil, err
 	}
-	payload, err := codec.ReadFrame(bytes.NewReader(raw), core.TypeLSMManifest)
+	// The manifest kind doubles as the layout version: v1 (pre-WAL
+	// releases) lacks the durability fields, v2 carries them. Anything
+	// else is a foreign or future format and is rejected loudly.
+	kind, _, err := codec.PeekKind(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if kind != core.TypeLSMManifest && kind != core.TypeLSMManifestV2 {
+		return nil, fmt.Errorf("%w: lsm: manifest frame kind %d, want %d (v1) or %d (v2)",
+			codec.ErrKind, kind, core.TypeLSMManifest, core.TypeLSMManifestV2)
+	}
+	payload, err := codec.ReadFrame(bytes.NewReader(raw), kind)
 	if err != nil {
 		return nil, err
 	}
@@ -458,8 +497,13 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	}
 	nextID := d.U64()
 	freeIDs := d.U64s()
-	durable := d.Bool()
-	watermark := d.U64()
+	// The durability fields exist only in the v2 layout; a v1 manifest
+	// is by definition a snapshot-only image.
+	durable, watermark := false, uint64(0)
+	if kind == core.TypeLSMManifestV2 {
+		durable = d.Bool()
+		watermark = d.U64()
+	}
 	memCount := d.U64()
 	if d.Err() == nil && memCount > uint64(d.Remaining())/entryBytes {
 		return nil, d.Corruptf("lsm: manifest claims %d memtable entries in %d bytes", memCount, d.Remaining())

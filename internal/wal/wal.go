@@ -156,6 +156,7 @@ type Log struct {
 	active     fault.File
 	activeName string
 	activeSize int
+	activeLast uint64 // last LSN written to the active segment
 	closedSegs []closedSeg
 }
 
@@ -231,6 +232,11 @@ func Open(dir string, opts Options, fn func(lsn uint64, op Op)) (*Log, error) {
 		l.lastLSN = prevLast
 	}
 	l.written, l.durable = l.lastLSN, l.lastLSN
+	// Seed the active segment's max-LSN tracker. Using lastLSN (which
+	// includes the floor) rather than the segment's scanned content is
+	// safe: the floor is durable elsewhere, so a Retire watermark always
+	// covers it.
+	l.activeLast = l.lastLSN
 
 	if l.activeName == "" {
 		// Fresh log: create the first segment and make its directory
@@ -451,7 +457,7 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 func (l *Log) writeFrames(frames []pendingFrame, doSync bool) error {
 	for _, fr := range frames {
 		if l.activeSize > 0 && l.activeSize+len(fr.data) > l.opts.SegmentBytes {
-			if err := l.rotate(fr.lastLSN); err != nil {
+			if err := l.rotate(); err != nil {
 				return err
 			}
 		}
@@ -459,6 +465,7 @@ func (l *Log) writeFrames(frames []pendingFrame, doSync bool) error {
 			return err
 		}
 		l.activeSize += len(fr.data)
+		l.activeLast = fr.lastLSN
 		l.mu.Lock()
 		l.stats.BytesLogged += uint64(len(fr.data))
 		l.mu.Unlock()
@@ -474,9 +481,13 @@ func (l *Log) writeFrames(frames []pendingFrame, doSync bool) error {
 	return nil
 }
 
-// rotate finalizes the active segment and opens the next one, named by
-// the LSN about to be written into it. Callers hold ioMu.
-func (l *Log) rotate(nextLSN uint64) error {
+// rotate finalizes the active segment and opens the next one. Callers
+// hold ioMu. The outgoing segment's max LSN is the last LSN actually
+// written into it (the record triggering rotation lands entirely in
+// the new segment), so Retire can drop it the moment a checkpoint
+// covers its own contents; records carry contiguous LSNs, so the new
+// segment's first record starts at activeLast+1, which names it.
+func (l *Log) rotate() error {
 	if err := l.active.Sync(); err != nil {
 		return err
 	}
@@ -487,10 +498,8 @@ func (l *Log) rotate(nextLSN uint64) error {
 	l.stats.Syncs++
 	l.stats.Rotations++
 	l.mu.Unlock()
-	// Everything in the outgoing segment is on disk now; its max LSN is
-	// at most nextLSN-1 (the frames before the one triggering rotation).
-	l.closedSegs = append(l.closedSegs, closedSeg{name: l.activeName, maxLSN: nextLSN - 1})
-	name := filepath.Join(l.dir, segName(nextLSN))
+	l.closedSegs = append(l.closedSegs, closedSeg{name: l.activeName, maxLSN: l.activeLast})
+	name := filepath.Join(l.dir, segName(l.activeLast+1))
 	f, err := l.fs.Create(name)
 	if err != nil {
 		return err
@@ -593,8 +602,11 @@ func (l *Log) Stats() Stats {
 	return l.stats
 }
 
-// Close flushes and fsyncs everything pending and closes the active
-// segment. The log is unusable afterwards.
+// Close flushes and fsyncs everything written — pending frames and,
+// in ModeBuffered, bytes earlier Syncs handed to the OS without an
+// fsync — then closes the active segment: a clean Close leaves no
+// acknowledged tail volatile in any mode. The log is unusable
+// afterwards.
 func (l *Log) Close() error {
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
@@ -614,10 +626,22 @@ func (l *Log) Close() error {
 	if err := l.writeFrames(frames, true); err != nil {
 		return err
 	}
+	l.mu.Lock()
 	if n := len(frames); n > 0 {
-		l.mu.Lock()
 		l.written = frames[n-1].lastLSN
 		l.durable = l.written
+	}
+	lag := l.written > l.durable
+	l.mu.Unlock()
+	if lag {
+		// ModeBuffered with an empty pending queue: everything reached
+		// the OS but the tail was never fsynced.
+		if err := l.active.Sync(); err != nil {
+			return err
+		}
+		l.mu.Lock()
+		l.durable = l.written
+		l.stats.Syncs++
 		l.mu.Unlock()
 	}
 	return l.active.Close()

@@ -424,3 +424,82 @@ func TestCloseFlushesPending(t *testing.T) {
 		t.Fatalf("pending records lost on Close: %+v", got)
 	}
 }
+
+// TestCloseBufferedFsyncsTail: in ModeBuffered earlier Syncs hand
+// bytes to the OS without fsync; a clean Close must still fsync the
+// tail, so even a post-Close machine crash loses nothing that was
+// written. (Regression: Close skipped the fsync when the pending
+// queue was empty.)
+func TestCloseBufferedFsyncsTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Mode: ModeBuffered}
+	_, _, l := collect(t, dir, opts)
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := l.Append([]Op{put(i, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Append drained the pending queue (doSync=false): nothing pending,
+	// nothing durable.
+	if d := l.DurableLSN(); d != 0 {
+		t.Fatalf("DurableLSN before Close = %d", d)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := l.DurableLSN(); d != 5 {
+		t.Fatalf("DurableLSN after Close = %d, want 5", d)
+	}
+	if st := l.Stats(); st.Syncs == 0 {
+		t.Fatal("clean Close issued no fsync in buffered mode")
+	}
+}
+
+// TestRotationMaxLSNTight: the record that triggers a rotation lands
+// entirely in the new segment, so the outgoing segment's max LSN is
+// the last LSN actually written into it — and Retire at exactly that
+// watermark drops it. (Regression: rotation recorded the triggering
+// batch's last LSN minus one, overestimating by the batch size and
+// delaying retirement.)
+func TestRotationMaxLSNTight(t *testing.T) {
+	dir := t.TempDir()
+	// Each 5-op batch frame overflows the cap on its own, so every
+	// batch after the first rotates: segment 1 holds exactly LSNs 1–5.
+	opts := Options{SegmentBytes: 150}
+	_, _, l := collect(t, dir, opts)
+	for b := uint64(0); b < 3; b++ {
+		ops := make([]Op, 5)
+		for i := range ops {
+			k := b*5 + uint64(i) + 1
+			ops[i] = put(k, k)
+		}
+		if _, err := l.Append(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer l.Close()
+	if st := l.Stats(); st.Rotations != 2 {
+		t.Fatalf("rotations = %d, want 2 (frame size vs cap drifted?)", st.Rotations)
+	}
+	// Watermark 5 covers everything in the first segment and nothing in
+	// the second; exactly one segment must retire.
+	if err := l.Retire(5); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Retired != 1 {
+		t.Fatalf("Retired = %d at watermark 5, want 1", st.Retired)
+	}
+	// Watermark 9 is mid-second-segment: nothing more retires.
+	if err := l.Retire(9); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Retired != 1 {
+		t.Fatalf("Retired = %d at watermark 9, want 1", st.Retired)
+	}
+	if err := l.Retire(10); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Retired != 2 {
+		t.Fatalf("Retired = %d at watermark 10, want 2", st.Retired)
+	}
+}
