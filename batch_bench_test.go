@@ -9,6 +9,7 @@ package beyondbloom
 // records the results in BENCH_batch.json.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -53,6 +54,9 @@ var (
 	blockedBenchOnce  sync.Once
 	blockedBenchF     *bloom.Blocked
 	blockedBenchKeys  []uint64
+	choicesBenchOnce  sync.Once
+	choicesBenchF     *bloom.BlockedChoices
+	choicesBenchKeys  []uint64
 	cuckooBenchOnce   sync.Once
 	cuckooBenchFilter *cuckoo.Filter
 	cuckooBenchKeys   []uint64
@@ -150,6 +154,30 @@ func BenchmarkFilterBloomBlockedContainsScalar(b *testing.B) {
 
 func BenchmarkFilterBloomBlockedContainsBatch(b *testing.B) {
 	f, probes := blockedBenchSetup(b)
+	benchBatchLoop(b, f, probes)
+}
+
+func choicesBenchSetup(b *testing.B) (*bloom.BlockedChoices, []uint64) {
+	choicesBenchOnce.Do(func() {
+		n := benchN(b)
+		members := workload.Keys(n, 37)
+		f := bloom.NewBlockedChoices(n, 12)
+		for _, k := range members {
+			f.Insert(k)
+		}
+		choicesBenchF = f
+		choicesBenchKeys = batchBenchProbes(members, workload.DisjointKeys(n, 37))
+	})
+	return choicesBenchF, choicesBenchKeys
+}
+
+func BenchmarkFilterBloomChoicesContainsScalar(b *testing.B) {
+	f, probes := choicesBenchSetup(b)
+	benchScalarLoop(b, f, probes)
+}
+
+func BenchmarkFilterBloomChoicesContainsBatch(b *testing.B) {
+	f, probes := choicesBenchSetup(b)
 	benchBatchLoop(b, f, probes)
 }
 
@@ -279,4 +307,85 @@ func BenchmarkFilterShardedContainsScalar(b *testing.B) {
 func BenchmarkFilterShardedContainsBatch(b *testing.B) {
 	f, probes := shardedBenchSetup(b)
 	benchBatchLoop(b, f, probes)
+}
+
+// ---- batch-size x occupancy sweep ----------------------------------
+//
+// BenchmarkFilterBatchSweep maps where the batched kernel's win comes
+// from: the staged loads only pay off once a batch holds enough
+// independent misses to fill the memory pipeline, and occupancy sets
+// how much work each probe does after the loads land (cuckoo's second
+// bucket, quotient-style cluster walks). Sub-benchmarks are named
+// occNN/bsNNNN{Scalar,Batch} so bench_to_json.py pairs them like the
+// top-level benchmarks and BENCH_batch.json records the whole surface.
+
+var (
+	sweepBenchOnce    sync.Once
+	sweepBenchFilters map[int]*cuckoo.Filter // occupancy percent -> filter
+	sweepBenchProbes  map[int][]uint64
+)
+
+var sweepOccupancies = []int{50, 95}
+
+func sweepBenchSetup(b *testing.B) {
+	sweepBenchOnce.Do(func() {
+		// A notch below the headline benchmarks: the sweep runs 16
+		// pairs, and the regime (out of cache) matters more than the
+		// exact miss latency.
+		n := benchN(b) / 4
+		sweepBenchFilters = make(map[int]*cuckoo.Filter)
+		sweepBenchProbes = make(map[int][]uint64)
+		for _, occ := range sweepOccupancies {
+			members := workload.Keys(n*occ/100, uint64(40+occ))
+			f := cuckoo.New(n, 13)
+			for _, k := range members {
+				if benchSetupErr = f.Insert(k); benchSetupErr != nil {
+					return
+				}
+			}
+			sweepBenchFilters[occ] = f
+			sweepBenchProbes[occ] = batchBenchProbes(members, workload.DisjointKeys(len(members), uint64(40+occ)))
+		}
+	})
+	if benchSetupErr != nil {
+		b.Fatal(benchSetupErr)
+	}
+}
+
+func benchScalarLoopSized(b *testing.B, f core.Filter, probes []uint64, size int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := i * size % (len(probes) - size)
+		for _, k := range probes[base : base+size] {
+			benchSink = f.Contains(k)
+		}
+	}
+}
+
+func benchBatchLoopSized(b *testing.B, f core.BatchFilter, probes []uint64, size int) {
+	b.Helper()
+	out := make([]bool, size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := i * size % (len(probes) - size)
+		f.ContainsBatch(probes[base:base+size], out)
+	}
+	benchSink = out[0]
+}
+
+func BenchmarkFilterBatchSweep(b *testing.B) {
+	sweepBenchSetup(b)
+	for _, occ := range sweepOccupancies {
+		f, probes := sweepBenchFilters[occ], sweepBenchProbes[occ]
+		for _, size := range []int{16, 64, 256, 1024} {
+			name := fmt.Sprintf("occ%02d/bs%04d", occ, size)
+			b.Run(name+"Scalar", func(b *testing.B) {
+				benchScalarLoopSized(b, f, probes, size)
+			})
+			b.Run(name+"Batch", func(b *testing.B) {
+				benchBatchLoopSized(b, f, probes, size)
+			})
+		}
+	}
 }

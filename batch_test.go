@@ -36,11 +36,13 @@ func batchFixtures(t *testing.T) []batchFixture {
 
 	bf := bloom.New(propN, 1.0/1024)
 	bb := bloom.NewBlocked(propN, 12)
+	bc := bloom.NewBlockedChoices(propN, 12)
 	cf := cuckoo.New(propN, 13)
 	qf := quotient.New(15, 10)
 	for _, k := range half {
 		bf.Insert(k)
 		bb.Insert(k)
+		bc.Insert(k)
 		if err := cf.Insert(k); err != nil {
 			t.Fatal(err)
 		}
@@ -58,18 +60,29 @@ func batchFixtures(t *testing.T) []batchFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
+	shc, err := concurrent.NewShardedMutable(3, func(int) core.MutableFilter {
+		return bloom.NewBlockedChoices(propN/4, 12)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, k := range half {
 		if err := sh.Insert(k); err != nil {
+			t.Fatal(err)
+		}
+		if err := shc.Insert(k); err != nil {
 			t.Fatal(err)
 		}
 	}
 	return []batchFixture{
 		{"bloom", bf, keys},
 		{"bloom_blocked", bb, keys},
+		{"bloom_choices", bc, keys},
 		{"cuckoo", cf, keys},
 		{"quotient", qf, keys},
 		{"xor", xf, keys},
 		{"sharded_cuckoo", sh, keys},
+		{"sharded_choices", shc, keys},
 	}
 }
 

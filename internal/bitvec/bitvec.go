@@ -216,6 +216,15 @@ func (p *Packed) Window64(i int) uint64 {
 	return p.words[word]>>off | p.words[word+1]<<(64-off)
 }
 
+// RawWords exposes the backing words (payload plus the one pad word) as
+// a read-only view for batched probing: batch kernels hoist the slice
+// out of their pure load loops so each window read is two indexed loads
+// with no pointer chase through the Packed header. Element i's window
+// starts at bit i*Width(): word i*Width()>>6, offset i*Width()&63, and
+// the pad word guarantees word+1 is always in range for payload
+// windows. Callers must not mutate the returned slice.
+func (p *Packed) RawWords() []uint64 { return p.words }
+
 // Len returns the number of elements.
 func (p *Packed) Len() int { return p.n }
 

@@ -3,6 +3,7 @@ package bloom
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/hashutil"
@@ -132,10 +133,15 @@ func (f *Blocked) Contains(key uint64) bool {
 // a chunk is computed up front; a pure load loop then fetches every
 // key's first probe word — one load per key, no branches between them,
 // so each key's single potential cache miss is in flight at once — and
-// the resolve loop finishes the remaining probes out of the now-warm
-// cache lines.
+// a fully branchless resolve loop finishes the remaining probes out of
+// the now-warm cache lines, AND-ing all k probe bits arithmetically.
+// Resolving without an early exit does a few redundant L1 loads for
+// keys whose first probe already missed, but removes the 50/50
+// data-dependent branch whose mispredictions would flush the very
+// pipeline the staged loads are trying to fill.
 func (f *Blocked) ContainsBatch(keys []uint64, out []bool) {
 	_ = out[:len(keys)]
+	words := f.words
 	var bases, g1s, g2s, w0s [core.BatchChunk]uint64
 	for start := 0; start < len(keys); start += core.BatchChunk {
 		chunk := keys[start:]
@@ -147,19 +153,24 @@ func (f *Blocked) ContainsBatch(keys []uint64, out []bool) {
 			bases[i], g1s[i], g2s[i] = f.hashState(k)
 		}
 		for i := range chunk {
-			w0s[i] = f.words[bases[i]+(g1s[i]&511)>>6]
+			w0s[i] = words[bases[i]+(g1s[i]&511)>>6]
 		}
+		k := f.k
 		for i := range chunk {
-			pos0 := g1s[i] & 511
-			if w0s[i]>>(pos0&63)&1 == 0 {
-				co[i] = false
-				continue
-			}
 			base, g1, g2 := bases[i], g1s[i], g2s[i]
-			hit := uint64(1)
-			for j := uint(1); j < f.k; j++ {
-				pos := probePos(g1, g2, j)
-				hit &= f.words[base+pos>>6] >> (pos & 63)
+			// Reslicing to the 8-word block lets the compiler prove
+			// every pos>>6 index in range and drop the bounds checks
+			// that would otherwise dominate this L1-resident loop.
+			blk := words[base : base+blockWords : base+blockWords]
+			hit := w0s[i] >> (g1 & 63)
+			g := g1 >> 9
+			for j := uint(1); j < k; j++ {
+				pos := g & 511
+				hit &= blk[pos>>6] >> (pos & 63)
+				g >>= 9
+				if j == 6 {
+					g = g2 // probes 7+ take their 9 bits from the second mix
+				}
 			}
 			co[i] = hit&1 != 0
 		}
@@ -176,9 +187,7 @@ func (f *Blocked) SizeBits() int { return len(f.words) * 64 }
 func (f *Blocked) FillRatio() float64 {
 	ones := 0
 	for _, w := range f.words {
-		for ; w != 0; w &= w - 1 {
-			ones++
-		}
+		ones += bits.OnesCount64(w)
 	}
 	return float64(ones) / float64(len(f.words)*64)
 }

@@ -15,6 +15,9 @@ func init() {
 	core.Register(core.TypeBlockedBloom, "bloom.Blocked",
 		func() core.Persistent { return &Blocked{} },
 		func(s core.Spec) (core.Persistent, error) { return BlockedFromSpec(s) })
+	core.Register(core.TypeBlockedChoices, "bloom.BlockedChoices",
+		func() core.Persistent { return &BlockedChoices{} },
+		func(s core.Spec) (core.Persistent, error) { return BlockedChoicesFromSpec(s) })
 }
 
 // TypeID returns the stable wire-format id (see core.Persistent).
@@ -119,7 +122,55 @@ func (f *Blocked) ReadFrom(r io.Reader) (int64, error) {
 	return int64(codec.HeaderSize + len(payload)), nil
 }
 
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (f *BlockedChoices) TypeID() uint16 { return core.TypeBlockedChoices }
+
+// WriteTo serializes the filter as one codec frame: the construction
+// Spec, the derived geometry, and the raw block words.
+func (f *BlockedChoices) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	f.spec.Encode(&e)
+	e.U64(f.numBlocks)
+	e.U32(uint32(f.k))
+	e.U64(uint64(f.n))
+	e.U64s(f.words)
+	return codec.WriteFrame(w, core.TypeBlockedChoices, e.Bytes())
+}
+
+// ReadFrom restores a filter written by WriteTo into the receiver (see
+// Filter.ReadFrom for the validation contract).
+func (f *BlockedChoices) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeBlockedChoices)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	numBlocks := d.U64()
+	k := uint(d.U32())
+	n := d.U64()
+	words := d.U64s()
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	nf, err := BlockedChoicesFromSpec(spec)
+	if err != nil {
+		return 0, d.Corruptf("%v", err)
+	}
+	if nf.numBlocks != numBlocks || nf.k != k || uint64(len(words)) != numBlocks*blockWords {
+		return 0, d.Corruptf("bloom: two-choice geometry blocks=%d k=%d words=%d disagrees with spec",
+			numBlocks, k, len(words))
+	}
+	f.spec = spec
+	f.words = words
+	f.numBlocks = numBlocks
+	f.k = k
+	f.n = int(n)
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
 var (
 	_ core.Persistent = (*Filter)(nil)
 	_ core.Persistent = (*Blocked)(nil)
+	_ core.Persistent = (*BlockedChoices)(nil)
 )

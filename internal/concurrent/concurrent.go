@@ -36,15 +36,25 @@ type Sharded struct {
 
 type shard struct {
 	mu sync.RWMutex
-	f  core.DeletableFilter
+	f  core.MutableFilter
 }
 
-// NewSharded builds a sharded filter: build is called once per shard and
-// must return an independent filter sized for its share of the keys.
-// Invalid configuration (too many shards, nil or nil-returning build) is
-// reported as an error, never a panic — callers embedding this in a
-// serving path get to degrade instead of crashing.
+// NewSharded builds a sharded filter from deletable shards: build is
+// called once per shard and must return an independent filter sized for
+// its share of the keys. Invalid configuration (too many shards, nil or
+// nil-returning build) is reported as an error, never a panic — callers
+// embedding this in a serving path get to degrade instead of crashing.
 func NewSharded(logShards uint, build func(shardIndex int) core.DeletableFilter) (*Sharded, error) {
+	if build == nil {
+		return nil, errNilBuild
+	}
+	return NewShardedMutable(logShards, func(i int) core.MutableFilter { return build(i) })
+}
+
+// NewShardedMutable is NewSharded for insert-only shard filters (the
+// Bloom family, which has no Delete). The wrapper's own Delete then
+// reports core.ErrImmutable instead of forwarding.
+func NewShardedMutable(logShards uint, build func(shardIndex int) core.MutableFilter) (*Sharded, error) {
 	if logShards > MaxLogShards {
 		return nil, fmt.Errorf("concurrent: logShards %d exceeds max %d", logShards, MaxLogShards)
 	}
@@ -82,12 +92,18 @@ func (s *Sharded) Insert(key uint64) error {
 	return sh.f.Insert(key)
 }
 
-// Delete removes key from its shard.
+// Delete removes key from its shard. If the shards were built from
+// insert-only filters (NewShardedMutable), it reports
+// core.ErrImmutable.
 func (s *Sharded) Delete(key uint64) error {
 	sh := s.shardOf(key)
+	df, ok := sh.f.(core.DeletableFilter)
+	if !ok {
+		return core.ErrImmutable
+	}
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.f.Delete(key)
+	return df.Delete(key)
 }
 
 // Contains probes the key's shard under a read lock, so readers scale.

@@ -109,13 +109,13 @@ func (s *Sharded) ReadFrom(r io.Reader) (int64, error) {
 				errs[i] = fmt.Errorf("concurrent: shard %d: %w", i, err)
 				return
 			}
-			df, ok := f.(core.DeletableFilter)
+			mf, ok := f.(core.MutableFilter)
 			if !ok {
-				errs[i] = fmt.Errorf("%w: concurrent: shard %d decoded to non-deletable %T",
+				errs[i] = fmt.Errorf("%w: concurrent: shard %d decoded to non-mutable %T",
 					codec.ErrCorrupt, i, f)
 				return
 			}
-			shards[i].f = df
+			shards[i].f = mf
 		}(i)
 	}
 	wg.Wait()

@@ -16,12 +16,13 @@ import (
 // renumbered (the golden-file tests pin them). Kinds 1–15 belong to the
 // codec substrate containers.
 const (
-	TypeBloom        uint16 = 16 // bloom.Filter
-	TypeBlockedBloom uint16 = 17 // bloom.Blocked
-	TypeCuckoo       uint16 = 18 // cuckoo.Filter
-	TypeQuotient     uint16 = 19 // quotient.Filter
-	TypeXor          uint16 = 20 // xorfilter.Filter
-	TypeSharded      uint16 = 21 // concurrent.Sharded
+	TypeBloom          uint16 = 16 // bloom.Filter
+	TypeBlockedBloom   uint16 = 17 // bloom.Blocked
+	TypeCuckoo         uint16 = 18 // cuckoo.Filter
+	TypeQuotient       uint16 = 19 // quotient.Filter
+	TypeXor            uint16 = 20 // xorfilter.Filter
+	TypeSharded        uint16 = 21 // concurrent.Sharded
+	TypeBlockedChoices uint16 = 22 // bloom.BlockedChoices
 
 	// Application-layer kinds (not filters; decoded by their owners).
 	TypeLSMManifest   uint16 = 32 // lsm store manifest, v1 layout (pre-durability)

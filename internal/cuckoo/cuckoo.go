@@ -13,6 +13,7 @@ import (
 	"beyondbloom/internal/bitvec"
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/hashutil"
+	"beyondbloom/internal/swar"
 )
 
 const (
@@ -216,26 +217,15 @@ func (f *Filter) containsHashed(i1, i2, fp uint64) bool {
 	return f.victimMatches(fp, i1, i2)
 }
 
-// bucketWindowMissesFP returns 1 if none of the 4 fingerprints packed
-// in win (low 4·fpBits bits, from Packed.Window64) equals fp, else 0 —
-// with no data-dependent branch: each lane's mismatch is collapsed to
-// the top bit of (d|-d) and the lanes are AND-ed arithmetically, so the
-// result can feed survivor compaction as an addend.
-func bucketWindowMissesFP(win, fp, mask uint64, w uint) uint64 {
-	d0 := win&mask ^ fp
-	d1 := win>>w&mask ^ fp
-	d2 := win>>(2*w)&mask ^ fp
-	d3 := win>>(3*w)&mask ^ fp
-	return (d0 | -d0) & (d1 | -d1) & (d2 | -d2) & (d3 | -d3) >> 63
-}
-
 // ContainsBatch probes every key (see core.BatchFilter). Both candidate
 // bucket indices and the fingerprint are precomputed for a whole chunk
-// (hash-once); then bucket 1 is probed for every key in a branch-free
-// loop — one Window64 read and a 4-lane compare — and only the misses
-// go on to probe bucket 2. The pure probe loops let each round's cache
-// misses overlap across keys instead of serializing behind the scalar
-// path's early-exit branches.
+// (hash-once); then bucket 1 is probed for every key in a pure load
+// loop — two indexed loads per key off the hoisted backing-words slice,
+// no branch or compare in between, so the whole chunk's cache misses
+// are in flight at once — a branchless SWAR resolve (swar.MatchNone4)
+// compacts the misses arithmetically, and only those go on to a second
+// staged load loop for bucket 2. The scalar path instead serializes
+// each miss behind the previous key's early-exit branch.
 func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 	_ = out[:len(keys)]
 	if 4*f.fpBits > 64 {
@@ -245,6 +235,8 @@ func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 		return
 	}
 	mask := uint64(1)<<f.fpBits - 1
+	words := f.slots.RawWords()
+	bucketBits := uint64(f.fpBits) * BucketSize
 	var i1s, i2s, fps, wins [core.BatchChunk]uint64
 	var live [core.BatchChunk]uint16
 	for start := 0; start < len(keys); start += core.BatchChunk {
@@ -258,25 +250,33 @@ func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 			i1s[i], i2s[i], fps[i] = i1, f.altIndex(i1, fp), fp
 		}
 		// Round 1: every key probes its first bucket. The window reads
-		// get a pure loop of their own so the misses all pipeline; the
-		// compare-and-compact loop then runs entirely out of L1.
+		// get a pure loop of their own — two indexed loads per key off
+		// the hoisted words slice, nothing data-dependent in between —
+		// so the whole chunk's cache misses are in flight together.
 		for i := range chunk {
-			wins[i] = f.slots.Window64(int(i1s[i]) * BucketSize)
+			bitPos := i1s[i] * bucketBits
+			off := bitPos & 63
+			wins[i] = words[bitPos>>6]>>off | words[bitPos>>6+1]<<(64-off)
 		}
+		// Branchless SWAR resolve + survivor compaction out of L1.
 		n := 0
 		for i := range chunk {
-			miss := bucketWindowMissesFP(wins[i], fps[i], mask, f.fpBits)
+			miss := swar.MatchNone4(wins[i], fps[i], mask, f.fpBits)
 			co[i] = miss == 0
 			live[n] = uint16(i)
 			n += int(miss)
 		}
-		// Round 2: only round-1 misses probe their second bucket.
+		// Round 2: only round-1 misses probe their second bucket (the
+		// scalar path skips it on a bucket-1 hit too, so batching adds
+		// no extra memory traffic — it only overlaps the misses).
 		for s := 0; s < n; s++ {
-			wins[s] = f.slots.Window64(int(i2s[live[s]]) * BucketSize)
+			bitPos := i2s[live[s]] * bucketBits
+			off := bitPos & 63
+			wins[s] = words[bitPos>>6]>>off | words[bitPos>>6+1]<<(64-off)
 		}
 		for s := 0; s < n; s++ {
 			i := live[s]
-			co[i] = bucketWindowMissesFP(wins[s], fps[i], mask, f.fpBits) == 0
+			co[i] = swar.MatchNone4(wins[s], fps[i], mask, f.fpBits) == 0
 		}
 		// Victim cache: only consulted for keys both buckets missed.
 		if f.victim.valid {

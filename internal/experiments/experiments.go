@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"E17", "Persistence: codec throughput and reload vs rebuild (§2.7+§3.1)", runE17},
 		{"E18", "Concurrent LSM: read scaling under background compaction (§3.1)", runE18},
 		{"E19", "Durable LSM: crash-point sweep and durability-mode put latency (§3.1)", runE19},
+		{"E20", "Bloom variant frontier: classic vs blocked vs two-choice at equal bits/key (§2)", runE20},
 	}
 	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
 	return append(exps, ablations()...)

@@ -12,10 +12,10 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 25 { // E1-E19 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 25", len(exps))
+	if len(exps) != 26 { // E1-E20 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 26", len(exps))
 	}
-	for i, e := range exps[:19] {
+	for i, e := range exps[:20] {
 		if e.ID != "E"+itoa(i+1) {
 			t.Errorf("experiment %d has ID %s", i, e.ID)
 		}
@@ -173,6 +173,30 @@ func TestE19DurableExperiment(t *testing.T) {
 		if !strings.Contains(out, name) {
 			t.Errorf("E19b missing mode %s:\n%s", name, out)
 		}
+	}
+}
+
+// TestE20FrontierExperiment checks the Bloom-variant frontier's shape:
+// all three variants appear at every bits/key budget, and the overfill
+// table covers both blocked variants.
+func TestE20FrontierExperiment(t *testing.T) {
+	out := runOne(t, "E20")
+	rows := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		switch fields[1] {
+		case "bloom", "blocked", "choices":
+			rows[fields[1]]++
+		}
+	}
+	// 6 bits/key budgets in the frontier table; blocked and choices also
+	// appear in 4 overfill rows each.
+	if rows["bloom"] != 6 || rows["blocked"] != 10 || rows["choices"] != 10 {
+		t.Errorf("E20 row counts bloom=%d blocked=%d choices=%d, want 6/10/10:\n%s",
+			rows["bloom"], rows["blocked"], rows["choices"], out)
 	}
 }
 

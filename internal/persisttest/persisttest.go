@@ -71,6 +71,14 @@ func Fixtures(n int) ([]Fixture, error) {
 	}
 	fixtures = append(fixtures, Fixture{Name: "bloom.Blocked", Filter: bb, Keys: keys, Components: 1})
 
+	bc := bloom.NewBlockedChoices(n, 10)
+	for _, k := range keys {
+		if err := bc.Insert(k); err != nil {
+			return nil, fmt.Errorf("choices insert: %w", err)
+		}
+	}
+	fixtures = append(fixtures, Fixture{Name: "bloom.BlockedChoices", Filter: bc, Keys: keys, Components: 1})
+
 	cf := cuckoo.New(n, 12)
 	for _, k := range keys {
 		if err := cf.Insert(k); err != nil {

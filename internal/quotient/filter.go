@@ -162,28 +162,22 @@ func (f *Filter) Contains(key uint64) bool {
 // containsFP finishes a lookup whose fingerprint is already split into
 // quotient and remainder.
 func (f *Filter) containsFP(fq, fr uint64) bool {
-	start, length, ok := f.t.findRun(fq)
+	start, length, ok := f.t.findRunFast(fq)
 	if !ok {
 		return false
 	}
-	pos := start
-	for i := uint64(0); i < length; i++ {
-		v := f.t.payload.Get(int(pos))
-		if v == fr {
-			return true
-		}
-		if v > fr {
-			return false // runs are sorted
-		}
-		pos = (pos + 1) & f.t.mask
-	}
-	return false
+	return f.t.runContains(start, length, fr)
 }
 
-// ContainsBatch probes every key (see core.BatchFilter). Fingerprints
-// for a whole chunk are computed before any table access; the run scans
-// then execute back to back, overlapping their metadata and payload
-// reads across keys.
+// ContainsBatch probes every key (see core.BatchFilter), hash-once /
+// probe-many: a chunk's fingerprints are all computed up front, then a
+// pure load loop fetches every key's occupied-bit word — the one
+// potential cache miss an absent key costs, issued back to back with
+// no branches so the misses overlap — and a branchless compaction
+// keeps only the keys whose quotient is occupied. Only those survivors
+// (a load-factor-sized minority for the negative lookups LSM reads
+// are dominated by) pay for the cluster walk, which findRunFast runs
+// at word granularity.
 func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 	_ = out[:len(keys)]
 	if f.saturated {
@@ -192,7 +186,9 @@ func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 		}
 		return
 	}
-	var fqs, frs [core.BatchChunk]uint64
+	occWords := f.t.occupied.Words()
+	var fqs, frs, ows [core.BatchChunk]uint64
+	var live [core.BatchChunk]uint16
 	for start := 0; start < len(keys); start += core.BatchChunk {
 		chunk := keys[start:]
 		if len(chunk) > core.BatchChunk {
@@ -203,7 +199,19 @@ func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
 			fqs[i], frs[i] = f.fingerprint(k)
 		}
 		for i := range chunk {
-			co[i] = f.containsFP(fqs[i], frs[i])
+			ows[i] = occWords[fqs[i]>>6]
+		}
+		n := 0
+		for i := range chunk {
+			occ := ows[i] >> (fqs[i] & 63) & 1
+			co[i] = false
+			live[n] = uint16(i)
+			n += int(occ)
+		}
+		for _, li := range live[:n] {
+			i := int(li)
+			s, length, ok := f.t.findRunFast(fqs[i])
+			co[i] = ok && f.t.runContains(s, length, frs[i])
 		}
 	}
 }

@@ -9,9 +9,11 @@ package quotient
 
 import (
 	"fmt"
+	"math/bits"
 
 	"beyondbloom/internal/bitvec"
 	"beyondbloom/internal/core"
+	"beyondbloom/internal/swar"
 )
 
 // table is the shared physical layer: 2^q slots, each holding a packed
@@ -322,6 +324,169 @@ func (t *table) findRun(fq uint64) (startPos uint64, length uint64, ok bool) {
 		p = (p + 1) & t.mask
 	}
 	return s, length, true
+}
+
+// prevClear returns the largest position p <= pos whose bit in words is
+// clear, scanning word-at-a-time instead of bit-by-bit. ok is false if
+// every bit at or below pos is set (the caller's cluster wraps past
+// slot 0 and must take the circular slow path).
+func prevClear(words []uint64, pos uint64) (uint64, bool) {
+	wi := int(pos >> 6)
+	w := ^words[wi] & (^uint64(0) >> (63 - pos&63))
+	for w == 0 {
+		wi--
+		if wi < 0 {
+			return 0, false
+		}
+		w = ^words[wi]
+	}
+	return uint64(wi)<<6 + uint64(63-bits.LeadingZeros64(w)), true
+}
+
+// onesInRange counts set bits of words in positions [lo, hi), hi > lo,
+// no wraparound.
+func onesInRange(words []uint64, lo, hi uint64) int {
+	loW, hiW := lo>>6, hi>>6
+	if loW == hiW {
+		return bits.OnesCount64(words[loW] >> (lo & 63) & (uint64(1)<<(hi-lo) - 1))
+	}
+	c := bits.OnesCount64(words[loW] >> (lo & 63))
+	for w := loW + 1; w < hiW; w++ {
+		c += bits.OnesCount64(words[w])
+	}
+	if rem := hi & 63; rem != 0 {
+		c += bits.OnesCount64(words[hiW] & (uint64(1)<<rem - 1))
+	}
+	return c
+}
+
+// selectZero returns the c-th (1-based, c >= 1) clear bit of words at or
+// after from. ok is false if the scan would run past limit (table end).
+func selectZero(words []uint64, from uint64, c int, limit uint64) (uint64, bool) {
+	if from >= limit {
+		return 0, false
+	}
+	wi := from >> 6
+	off := uint(from & 63)
+	for wi < uint64(len(words)) {
+		z := ^words[wi]
+		if off > 0 {
+			z &= ^uint64(0) << off
+		}
+		if n := bits.OnesCount64(z); n >= c {
+			pos := wi<<6 + uint64(swar.SelectZero64From(words[wi], off, c-1))
+			if pos >= limit {
+				return 0, false
+			}
+			return pos, true
+		} else {
+			c -= n
+		}
+		wi++
+		off = 0
+	}
+	return 0, false
+}
+
+// firstZero returns the first clear bit of words at or after from; ok is
+// false if the scan would run past limit.
+func firstZero(words []uint64, from uint64, limit uint64) (uint64, bool) {
+	if from >= limit {
+		return 0, false
+	}
+	wi := from >> 6
+	z := ^words[wi] & (^uint64(0) << (from & 63))
+	for z == 0 {
+		wi++
+		if wi >= uint64(len(words)) {
+			return 0, false
+		}
+		z = ^words[wi]
+	}
+	pos := wi<<6 + uint64(bits.TrailingZeros64(z))
+	if pos >= limit {
+		return 0, false
+	}
+	return pos, true
+}
+
+// findRunFast is findRun with the three walks word-accelerated: the
+// leftward cluster-start walk becomes a reverse scan for a clear
+// shifted bit, the lockstep run-counting march becomes one popcount
+// over the occupied bits plus one select on the continuation bits, and
+// the run-length measurement becomes a find-first-zero. Each step
+// touches O(cluster/64) words instead of O(cluster) bits. Tables too
+// small for full words (q < 6) and the rare cluster that wraps past
+// slot 0 fall back to the bit-walk, which remains the behavioral
+// reference (a property test asserts agreement).
+func (t *table) findRunFast(fq uint64) (startPos uint64, length uint64, ok bool) {
+	if !t.occupied.Bit(int(fq)) {
+		return 0, 0, false
+	}
+	if t.q < 6 {
+		return t.findRun(fq)
+	}
+	// Cluster start: nearest slot at or left of fq with shifted clear.
+	b, okb := prevClear(t.shifted.Words(), fq)
+	if !okb {
+		return t.findRun(fq) // cluster wraps past slot 0
+	}
+	// Rank of fq's run within the cluster: occupied quotients in (b, fq].
+	c := 0
+	if fq > b {
+		c = onesInRange(t.occupied.Words(), b+1, fq+1)
+	}
+	// Run start: the c-th non-continuation slot strictly after b (run
+	// starts are exactly the slots whose continuation bit is clear).
+	s := b
+	if c > 0 {
+		var oks bool
+		s, oks = selectZero(t.continuation.Words(), b+1, c, t.slots)
+		if !oks {
+			return t.findRun(fq)
+		}
+	}
+	// Run length: continuation bits set consecutively after s.
+	e, oke := firstZero(t.continuation.Words(), s+1, t.slots)
+	if !oke {
+		return t.findRun(fq) // run reaches the table end: may wrap
+	}
+	return s, e - s, true
+}
+
+// runContains scans the run [start, start+length) for a slot whose
+// payload equals v, comparing up to 64/width packed slots per step with
+// a SWAR lane compare instead of one Get per slot. Runs that wrap
+// around the table end take the per-slot path.
+func (t *table) runContains(start, length uint64, v uint64) bool {
+	if start+length > t.slots || t.width > 21 {
+		// Wrapping or wide-payload runs: per-slot walk (a 22-bit payload
+		// leaves at most 2 lanes per window, not worth the setup).
+		pos := start
+		for i := uint64(0); i < length; i++ {
+			if t.payload.Get(int(pos)) == v {
+				return true
+			}
+			pos = (pos + 1) & t.mask
+		}
+		return false
+	}
+	words := t.payload.RawWords()
+	w := uint64(t.width)
+	lanes := uint64(64 / w)
+	for off := uint64(0); off < length; off += lanes {
+		bitPos := (start + off) * w
+		sh := bitPos & 63
+		win := words[bitPos>>6]>>sh | words[bitPos>>6+1]<<(64-sh)
+		nl := length - off
+		if nl > lanes {
+			nl = lanes
+		}
+		if swar.MatchMask(win, v, uint(w), int(nl)) != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // runSlots copies the payload values of the run at startPos.

@@ -1,0 +1,115 @@
+// Package swar implements SIMD-within-a-register kernels: 64-bit lane
+// compares that test several packed fingerprints against one pattern in
+// a handful of ALU instructions, with no data-dependent branches. These
+// are the pure-Go stand-ins for the SSE/AVX bucket compares that
+// register-blocked filters use (cf. "Blocked Bloom Filters with
+// Choices" and the cuckoo-filter reference implementation): a 4-way
+// cuckoo bucket of ≤16-bit fingerprints, or a quotient-filter run of
+// remainders, is one Window64 read plus one MatchNone call.
+//
+// Two forms are provided. The generic form (MatchNone/MatchMask) works
+// for any lane width 1..16 by collapsing each lane's XOR difference to
+// its sign bit via (d | -d); it costs a few ops per lane. The classic
+// zero-byte trick (HasZero8/HasZero16 over x^Broadcast(p)) tests all
+// lanes at once with five ops total, but only for uniform 8- or 16-bit
+// lanes and with the caveat that borrow propagation can spill between
+// lanes, so it is exact only as the "no lane is zero" test it states.
+// Kernels pick the fast path when the geometry allows and fall back to
+// the generic form otherwise.
+package swar
+
+import "math/bits"
+
+// Repunit constants for the classic zero-lane tricks: lo has the lowest
+// bit of every lane set, hi the highest.
+const (
+	lo8  uint64 = 0x0101010101010101
+	hi8  uint64 = 0x8080808080808080
+	lo16 uint64 = 0x0001000100010001
+	hi16 uint64 = 0x8000800080008000
+)
+
+// Broadcast replicates the low w bits of v into every w-bit lane of a
+// 64-bit word (the last partial lane, if 64%w != 0, holds the value's
+// low bits). w must be in [1, 64].
+func Broadcast(v uint64, w uint) uint64 {
+	if w >= 64 {
+		return v
+	}
+	v &= uint64(1)<<w - 1
+	out := v
+	for shift := w; shift < 64; shift <<= 1 {
+		out |= out << shift
+	}
+	return out
+}
+
+// HasZero8 reports a nonzero value iff some aligned 8-bit lane of x is
+// zero (the classic "determine if a word has a zero byte" bit trick).
+// Combined with an XOR against Broadcast(p, 8) it becomes an 8-lane
+// equality test: HasZero8(x ^ Broadcast(p, 8)) != 0 iff some byte of x
+// equals p.
+func HasZero8(x uint64) uint64 { return (x - lo8) & ^x & hi8 }
+
+// HasZero16 is HasZero8 for four 16-bit lanes.
+func HasZero16(x uint64) uint64 { return (x - lo16) & ^x & hi16 }
+
+// MatchNone reports 1 if none of the `lanes` w-bit lanes in the low
+// lanes*w bits of win equals pattern, else 0 — with no data-dependent
+// branch: each lane's XOR difference is collapsed to the top bit of
+// (d | -d) and the lanes are AND-ed arithmetically, so the result can
+// feed survivor compaction as an addend. pattern must already be masked
+// to w bits; lanes*w must be ≤ 64 and lanes in [1, 8].
+func MatchNone(win, pattern uint64, w uint, lanes int) uint64 {
+	mask := uint64(1)<<w - 1
+	miss := uint64(1)
+	for l := 0; l < lanes; l++ {
+		d := win>>(uint(l)*w)&mask ^ pattern
+		miss &= (d | -d) >> 63
+	}
+	return miss
+}
+
+// MatchNone4 is MatchNone for exactly four lanes (the cuckoo bucket
+// shape), fully unrolled so the hot batch kernels pay no loop overhead.
+func MatchNone4(win, pattern, mask uint64, w uint) uint64 {
+	d0 := win&mask ^ pattern
+	d1 := win>>w&mask ^ pattern
+	d2 := win>>(2*w)&mask ^ pattern
+	d3 := win>>(3*w)&mask ^ pattern
+	return (d0 | -d0) & (d1 | -d1) & (d2 | -d2) & (d3 | -d3) >> 63
+}
+
+// MatchMask returns a bitmask with bit l set iff lane l (of the given
+// width, counting from the low end of win) equals pattern. lanes*w must
+// be ≤ 64. Used where the caller needs the matching position, not just
+// existence (maplet value extraction, counting).
+func MatchMask(win, pattern uint64, w uint, lanes int) uint64 {
+	mask := uint64(1)<<w - 1
+	var m uint64
+	for l := 0; l < lanes; l++ {
+		d := win>>(uint(l)*w)&mask ^ pattern
+		// (d|-d)>>63 is 0 for a match; invert into bit l.
+		m |= (1 ^ (d|-d)>>63) << uint(l)
+	}
+	return m
+}
+
+// SelectZero64From returns the position of the (r+1)-th zero bit of w
+// at or above bit position from, or 64 if w has fewer than r+1 zero
+// bits there (r is 0-based). It is the word-level building block of the
+// quotient filter's run-start select: run starts are slots whose
+// continuation bit is clear.
+func SelectZero64From(w uint64, from uint, r int) uint {
+	z := ^w
+	if from > 0 {
+		z &= ^uint64(0) << from
+	}
+	for i := 0; i < r; i++ {
+		z &= z - 1
+	}
+	if z == 0 {
+		return 64
+	}
+	return uint(bits.TrailingZeros64(z))
+}

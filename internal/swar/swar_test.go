@@ -1,0 +1,136 @@
+package swar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBroadcast(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		w    uint
+		want uint64
+	}{
+		{0xAB, 8, 0xABABABABABABABAB},
+		{0x12CD, 16, 0x12CD12CD12CD12CD},
+		{0x1, 1, ^uint64(0)},
+		{0x3, 2, ^uint64(0)},
+		{0xDEADBEEF12345678, 64, 0xDEADBEEF12345678},
+	}
+	for _, c := range cases {
+		if got := Broadcast(c.v, c.w); got != c.want {
+			t.Errorf("Broadcast(%#x, %d) = %#x, want %#x", c.v, c.w, got, c.want)
+		}
+	}
+	// Property: every aligned full lane holds v.
+	for _, w := range []uint{3, 5, 7, 8, 11, 13, 16, 21, 32} {
+		v := uint64(0x5A5A5A5A5A5A5A5A) & (uint64(1)<<w - 1)
+		b := Broadcast(v, w)
+		for l := uint(0); (l+1)*w <= 64; l += 1 {
+			if got := b >> (l * w) & (uint64(1)<<w - 1); got != v {
+				t.Fatalf("Broadcast(%#x, %d) lane %d = %#x", v, w, l, got)
+			}
+		}
+	}
+}
+
+func TestHasZeroLanes(t *testing.T) {
+	if HasZero8(0x0102030405060708) != 0 {
+		t.Error("HasZero8 false positive")
+	}
+	if HasZero8(0x0102030400060708) == 0 {
+		t.Error("HasZero8 missed zero byte")
+	}
+	if HasZero16(0x0001000200030004) != 0 {
+		t.Error("HasZero16 false positive")
+	}
+	if HasZero16(0x0001000000030004) == 0 {
+		t.Error("HasZero16 missed zero lane")
+	}
+	// Equality-test composition: some byte of x equals p.
+	x := uint64(0x1122334455667788)
+	if HasZero8(x^Broadcast(0x55, 8)) == 0 {
+		t.Error("byte 0x55 not found")
+	}
+	if HasZero8(x^Broadcast(0x99, 8)) != 0 {
+		t.Error("byte 0x99 falsely found")
+	}
+}
+
+// refMatch is the scalar reference: does any of the first `lanes` w-bit
+// lanes of win equal pattern?
+func refMatch(win, pattern uint64, w uint, lanes int) bool {
+	mask := uint64(1)<<w - 1
+	for l := 0; l < lanes; l++ {
+		if win>>(uint(l)*w)&mask == pattern&mask {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMatchNoneAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []uint{2, 4, 8, 10, 13, 16} {
+		lanes := int(64 / w)
+		if lanes > 8 {
+			lanes = 8
+		}
+		for trial := 0; trial < 5000; trial++ {
+			win := rng.Uint64()
+			pattern := rng.Uint64() & (uint64(1)<<w - 1)
+			if trial%3 == 0 { // force planted matches
+				l := rng.Intn(lanes)
+				win = win&^((uint64(1)<<w-1)<<(uint(l)*w)) | pattern<<(uint(l)*w)
+			}
+			want := refMatch(win, pattern, w, lanes)
+			if got := MatchNone(win, pattern, w, lanes); (got == 0) != want {
+				t.Fatalf("MatchNone(%#x, %#x, w=%d, lanes=%d) = %d, scalar says match=%v",
+					win, pattern, w, lanes, got, want)
+			}
+			if lanes >= 4 {
+				got4 := MatchNone4(win, pattern, uint64(1)<<w-1, w)
+				want4 := refMatch(win, pattern, w, 4)
+				if (got4 == 0) != want4 {
+					t.Fatalf("MatchNone4(%#x, %#x, w=%d) = %d, scalar says match=%v",
+						win, pattern, w, got4, want4)
+				}
+			}
+			mm := MatchMask(win, pattern, w, lanes)
+			for l := 0; l < lanes; l++ {
+				laneEq := win>>(uint(l)*w)&(uint64(1)<<w-1) == pattern
+				if mm>>uint(l)&1 == 1 != laneEq {
+					t.Fatalf("MatchMask(%#x, %#x, w=%d) lane %d wrong", win, pattern, w, l)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectZero64From(t *testing.T) {
+	// Reference: walk bits.
+	ref := func(w uint64, from uint, r int) uint {
+		seen := 0
+		for i := from; i < 64; i++ {
+			if w>>i&1 == 0 {
+				if seen == r {
+					return i
+				}
+				seen++
+			}
+		}
+		return 64
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20000; trial++ {
+		w := rng.Uint64()
+		if trial%4 == 0 {
+			w |= ^uint64(0) << uint(rng.Intn(64)) // dense-high words
+		}
+		from := uint(rng.Intn(64))
+		r := rng.Intn(10)
+		if got, want := SelectZero64From(w, from, r), ref(w, from, r); got != want {
+			t.Fatalf("SelectZero64From(%#x, %d, %d) = %d, want %d", w, from, r, got, want)
+		}
+	}
+}

@@ -6,14 +6,33 @@
 # lsm_concurrent_bench_test.go), and the WAL durability ablation
 # (-> BENCH_wal.json, see exp_wal.go).
 # Setup builds multi-MB filters, so a full run takes a few minutes.
+#
+# Usage:
+#   scripts/bench.sh              rerun everything, overwrite the JSONs
+#   scripts/bench.sh --compare    rerun the batch section only and diff
+#                                 it against the committed
+#                                 BENCH_batch.json, flagging >10%
+#                                 regressions (exit 1 if any)
 set -eu
 cd "$(dirname "$0")/.."
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+if [ "${1:-}" = "--compare" ]; then
+	[ -f BENCH_batch.json ] || { echo "no committed BENCH_batch.json to compare against" >&2; exit 2; }
+	echo "== go test -bench Filter*Contains{Scalar,Batch} (compare mode) =="
+	go test -run '^$' -bench 'Filter.*Contains(Scalar|Batch)|FilterBatchSweep' \
+		-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
+	python3 scripts/bench_to_json.py <"$RAW" >BENCH_batch.new.json
+	status=0
+	python3 scripts/bench_compare.py BENCH_batch.json BENCH_batch.new.json || status=$?
+	rm -f BENCH_batch.new.json
+	exit $status
+fi
+
 echo "== go test -bench Filter*Contains{Scalar,Batch} =="
-go test -run '^$' -bench 'Filter.*Contains(Scalar|Batch)' \
+go test -run '^$' -bench 'Filter.*Contains(Scalar|Batch)|FilterBatchSweep' \
 	-benchmem -benchtime 1s -timeout 1800s . | tee "$RAW"
 python3 scripts/bench_to_json.py <"$RAW" >BENCH_batch.json
 echo "wrote BENCH_batch.json"

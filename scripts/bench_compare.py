@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Diff two bench_to_json.py outputs and flag regressions.
+
+Usage: bench_compare.py OLD.json NEW.json [--threshold 0.10]
+
+Compares ns/op for every benchmark present in both files and prints a
+table of deltas. A benchmark that got more than threshold (default 10%)
+slower is a regression; any regression makes the script exit 1 so CI
+and `scripts/bench.sh --compare` can gate on it. Benchmarks present in
+only one file are listed but never fail the run (the suite grows).
+
+Micro-benchmark noise on shared machines easily exceeds a few percent,
+so the threshold is deliberately loose — this is a tripwire for real
+kernel regressions (a lost bounds-check elimination, an accidental
+allocation), not a statistical test.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="fractional slowdown that counts as a regression")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    common = sorted(set(old) & set(new))
+    if not common:
+        sys.stderr.write("bench_compare: no common benchmarks\n")
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'old ns/op':>12}  {'new ns/op':>12}  {'delta':>8}")
+    for name in common:
+        o, n = old[name]["ns_per_op"], new[name]["ns_per_op"]
+        delta = (n - o) / o if o else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {o:>12.1f}  {n:>12.1f}  {delta:>+7.1%}{flag}")
+
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{width}}  {'-':>12}  {new[name]['ns_per_op']:>12.1f}  (new)")
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{width}}  {old[name]['ns_per_op']:>12.1f}  {'-':>12}  (removed)")
+
+    # Allocation regressions are always real: the batch kernels are
+    # contractually zero-alloc.
+    for name in common:
+        oa = old[name].get("allocs_per_op") or 0
+        na = new[name].get("allocs_per_op") or 0
+        if na > oa:
+            regressions.append((name, float("nan")))
+            print(f"{name}: allocs/op rose {oa} -> {na}  REGRESSION")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.threshold:.0%}")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

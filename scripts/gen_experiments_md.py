@@ -254,6 +254,29 @@ op; under real concurrency waiters piggyback on the leader's fsync
 (`TestGroupCommitConcurrent` asserts Syncs < Ops), which is where the
 fsyncs_per_1k column collapses.""",
 
+    "E20": """The probe-engine frontier behind DESIGN.md §10: three ways to spend
+the same bits/key on a Bloom-shaped filter. Classic Bloom is the FPR
+baseline but pays k dependent cache misses per probe; blocked Bloom
+(one 512-bit block per key, one miss) pays a balls-into-bins convexity
+penalty that grows with bits/key (1.09× classic at 8, 10.3× at 24);
+two-choice blocked (Schmitz et al., arXiv 2501.18977) balances block
+loads at insert time but its OR-of-two-blocks query has a hard ~2× per-
+block FPR floor. Measured: the floor dominates at low budgets (choices
+1.64-1.66× classic at 8-12 bits/key, behind blocked), and the curves
+cross at ~24 bits/key (choices 7.7× vs blocked 10.3×) where blocked's
+skewed-block tail overtakes the constant floor — so plain blocked is
+the right default and choices is the high-budget/overfill-tolerant
+variant, exactly the regime split README's variant table gives. Speed:
+both blocked variants beat classic on scalar probes (one or two
+parallel misses vs k serial); the batch columns on this L3-generous
+container compress toward 1× for the single-miss filters because out-
+of-order execution already overlaps their scalar misses —
+BENCH_batch.json on the same hardware shows the same compression, and
+the staged kernels' win tracks working-set size. The overfill table
+shows mean FPR degrading in near-lockstep (choices/blocked ~1.3-1.4×
+flat from 1× to 2× design load): two-choice balancing controls the
+per-block load *spread* (tail), not the mean, under uniform inserts.""",
+
     "A1": """SuRF's own design space: hash suffixes cut point FPR (in space) but do
 nothing for correlated range queries, which need real suffixes — and even
 real suffixes can't fix the truncation-interval weakness at gap 2.""",
