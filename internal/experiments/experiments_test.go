@@ -12,8 +12,8 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 26 { // E1-E20 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 26", len(exps))
+	if len(exps) != 27 { // E1-E21 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 27", len(exps))
 	}
 	for i, e := range exps[:20] {
 		if e.ID != "E"+itoa(i+1) {

@@ -2,6 +2,7 @@ package lsm
 
 import (
 	"sort"
+	"sync"
 
 	"beyondbloom/internal/core"
 )
@@ -63,7 +64,15 @@ func (s *Store) Get(key uint64) (uint64, bool) {
 func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
 	_ = values[:len(keys)]
 	_ = found[:len(keys)]
-	pending := make([]int32, 0, len(keys))
+	sc := getBatchPool.Get().(*getBatchScratch)
+	pending := sc.pending[:0]
+	inRange, mustProbe := sc.inRange, sc.mustProbe
+	probeKeys, probeOut, resolved := sc.probeKeys, sc.probeOut, sc.resolved
+	defer func() {
+		sc.pending, sc.inRange, sc.mustProbe = pending, inRange, mustProbe
+		sc.probeKeys, sc.probeOut, sc.resolved = probeKeys, probeOut, resolved
+		getBatchPool.Put(sc)
+	}()
 	s.mu.RLock()
 	for i, k := range keys {
 		values[i], found[i] = 0, false
@@ -98,15 +107,31 @@ func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
 		}
 		return
 	}
-	// Scratch for the per-run sub-batches. inRange holds the pending
-	// batch positions whose key falls in the run's key range; probeKeys/
+	// Scratch for the per-run sub-batches (pooled — this path runs per
+	// service request at steady state). inRange holds the pending batch
+	// positions whose key falls in the run's key range; probeKeys/
 	// probeOut hold the (smaller) sub-batch whose filter probe was
 	// usable; resolved marks batch positions answered by some run.
-	inRange := make([]int32, 0, len(pending))
-	mustProbe := make([]bool, 0, len(pending))
-	probeKeys := make([]uint64, 0, len(pending))
-	probeOut := make([]bool, len(pending))
-	resolved := make([]bool, len(keys))
+	if cap(inRange) < len(pending) {
+		inRange = make([]int32, 0, len(pending))
+	}
+	if cap(mustProbe) < len(pending) {
+		mustProbe = make([]bool, len(pending))
+	}
+	if cap(probeKeys) < len(pending) {
+		probeKeys = make([]uint64, 0, len(pending))
+	}
+	if cap(probeOut) < len(pending) {
+		probeOut = make([]bool, len(pending))
+	}
+	probeOut = probeOut[:len(pending)]
+	if cap(resolved) < len(keys) {
+		resolved = make([]bool, len(keys))
+	}
+	resolved = resolved[:len(keys)]
+	for i := range resolved {
+		resolved[i] = false
+	}
 	for level := 0; level < len(v.levels) && len(pending) > 0; level++ {
 		for _, r := range v.levels[level] { // newest first
 			if len(pending) == 0 {
@@ -184,6 +209,20 @@ func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
 		}
 	}
 }
+
+// getBatchScratch holds GetBatch's per-call worklists. They are pooled
+// so a hot batched read path allocates nothing at steady state; no
+// slice retains store data, only key copies and positions.
+type getBatchScratch struct {
+	pending   []int32
+	inRange   []int32
+	mustProbe []bool
+	probeKeys []uint64
+	probeOut  []bool
+	resolved  []bool
+}
+
+var getBatchPool = sync.Pool{New: func() any { return new(getBatchScratch) }}
 
 // frozenLookup probes the frozen memtables, newest first.
 func frozenLookup(frozen []*memRun, key uint64) (Entry, bool) {

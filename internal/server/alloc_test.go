@@ -1,0 +1,121 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"beyondbloom/internal/lsm"
+)
+
+// TestProbeFrameZeroAlloc pins the binary probe handler's allocation
+// contract: at steady state (scratch warm), decoding a frame, probing
+// the batch, and encoding the response allocates nothing — the whole
+// request is slice reuse over pooled buffers.
+func TestProbeFrameZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	store, err := lsm.NewStore(lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	e, err := NewEngine(newTestFilter(t, 1<<16), store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	s := New(e)
+
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = uint64(i) * 7
+		if i%2 == 0 {
+			if err := e.Insert(keys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%4 == 0 {
+			if err := e.Apply(lsm.Entry{Key: keys[i], Value: keys[i] + 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		op   byte
+	}{
+		{"contains", OpContains},
+		{"get", OpGet},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &probeScratch{}
+			frame := AppendBinaryRequest(nil, tc.op, keys)
+			run := func() {
+				sc.body = append(sc.body[:0], frame...)
+				if _, err := s.probeFrame(sc); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warm the scratch slices
+			if avg := testing.AllocsPerRun(100, run); avg != 0 {
+				t.Fatalf("probeFrame(%s) allocates %.1f times per request at steady state, want 0", tc.name, avg)
+			}
+		})
+	}
+}
+
+// TestEngineContainsBatchZeroAlloc pins the direct batch path the JSON
+// batch handler and the experiment harness share.
+func TestEngineContainsBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	e, err := NewEngine(newTestFilter(t, 1<<16), nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	keys := make([]uint64, 256)
+	out := make([]bool, 256)
+	for i := range keys {
+		keys[i] = uint64(i) * 13
+	}
+	run := func() {
+		if err := e.ContainsBatch(keys, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("ContainsBatch allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestCoalescerAsyncAmortizedAllocs pins the open-loop coalescer path:
+// windows are pooled, so per-request allocation at steady state is a
+// small fraction of an allocation (the occasional pool refill), not
+// one-plus per request.
+func TestCoalescerAsyncAmortizedAllocs(t *testing.T) {
+	c := NewCoalescer(256, time.Hour, func(keys, values []uint64, found []bool) error {
+		for i := range keys {
+			found[i] = keys[i]&1 == 1
+		}
+		return nil
+	}, func(tag, value uint64, found bool, err error) {})
+	defer c.Close()
+
+	run := func() { // exactly one capacity-sealed window per run
+		for i := uint64(0); i < 256; i++ {
+			if err := c.EnqueueAsync(i, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run()
+	avg := testing.AllocsPerRun(100, run)
+	if perReq := avg / 256; perReq > 0.05 {
+		t.Fatalf("async coalescing allocates %.3f per request at steady state (%.1f per window), want amortized ~0", perReq, avg)
+	}
+}

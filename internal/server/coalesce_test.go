@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// refFlush answers windows from a pure function so every test can
+// check exact per-key answers: found = key divisible by 3, value =
+// key*2. It records the size of every batch it was handed.
+type refFlush struct {
+	mu      sync.Mutex
+	batches []int
+	gate    chan struct{} // when non-nil, flush blocks until it closes
+	started chan struct{} // signalled when a flush begins
+}
+
+func (r *refFlush) fn(keys []uint64, values []uint64, found []bool) error {
+	if r.started != nil {
+		select {
+		case r.started <- struct{}{}:
+		default:
+		}
+	}
+	if r.gate != nil {
+		<-r.gate
+	}
+	r.mu.Lock()
+	r.batches = append(r.batches, len(keys))
+	r.mu.Unlock()
+	for i, k := range keys {
+		values[i] = k * 2
+		found[i] = k%3 == 0
+	}
+	return nil
+}
+
+func (r *refFlush) batchSizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.batches...)
+}
+
+func wantAnswer(t *testing.T, key, value uint64, found bool) {
+	t.Helper()
+	if value != key*2 || found != (key%3 == 0) {
+		t.Fatalf("key %d: got (value=%d, found=%v), want (%d, %v)", key, value, found, key*2, key%3 == 0)
+	}
+}
+
+// sinkRecorder collects async completions keyed by tag.
+type sinkRecorder struct {
+	mu   sync.Mutex
+	got  map[uint64][3]uint64 // tag -> value, found, err!=nil
+	errs map[uint64]error
+}
+
+func newSinkRecorder() *sinkRecorder {
+	return &sinkRecorder{got: map[uint64][3]uint64{}, errs: map[uint64]error{}}
+}
+
+func (s *sinkRecorder) fn(tag uint64, value uint64, found bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := uint64(0)
+	if found {
+		f = 1
+	}
+	s.got[tag] = [3]uint64{value, f, 0}
+	s.errs[tag] = err
+}
+
+func (s *sinkRecorder) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func (s *sinkRecorder) check(t *testing.T, tag, key uint64) {
+	t.Helper()
+	s.mu.Lock()
+	rec, ok := s.got[tag]
+	err := s.errs[tag]
+	s.mu.Unlock()
+	if !ok {
+		t.Fatalf("tag %d: no completion delivered", tag)
+	}
+	if err != nil {
+		t.Fatalf("tag %d: unexpected error %v", tag, err)
+	}
+	wantAnswer(t, key, rec[0], rec[1] == 1)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	t.Fatalf("condition not reached within %v", d)
+}
+
+// pendingKeys reads the open window's fill level (white-box).
+func pendingKeys(c *Coalescer) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return 0
+	}
+	return len(c.cur.keys)
+}
+
+// TestCoalescerWindowEdges drives the coalescing window through its
+// edge cases, one subtest per row. Single-key requests are enqueued
+// asynchronously where determinism matters (the enqueue itself is
+// synchronous; only the answer is deferred), so window fill order is
+// exact, not scheduler-dependent.
+func TestCoalescerWindowEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"batch exactly at capacity flushes immediately", func(t *testing.T) {
+			flush := &refFlush{}
+			sink := newSinkRecorder()
+			c := NewCoalescer(4, time.Hour, flush.fn, sink.fn)
+			defer c.Close()
+			for i := uint64(0); i < 3; i++ {
+				if err := c.EnqueueAsync(10+i, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := c.Stats().Windows; got != 0 {
+				t.Fatalf("window flushed before capacity: %d windows", got)
+			}
+			// The 4th request seals the window and flushes it inline: its
+			// answer returns without any deadline involvement (the window
+			// deadline is an hour out).
+			value, found, err := c.Do(context.Background(), 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAnswer(t, 13, value, found)
+			st := c.Stats()
+			if st.Windows != 1 || st.CapacityFlushes != 1 || st.DeadlineFlushes != 0 {
+				t.Fatalf("stats = %+v, want exactly one capacity flush", st)
+			}
+			if st.Keys != 4 {
+				t.Fatalf("flushed %d keys, want 4", st.Keys)
+			}
+			for i := uint64(0); i < 3; i++ {
+				sink.check(t, i, 10+i)
+			}
+		}},
+		{"under-capacity window flushes on deadline", func(t *testing.T) {
+			flush := &refFlush{}
+			sink := newSinkRecorder()
+			c := NewCoalescer(1024, 5*time.Millisecond, flush.fn, sink.fn)
+			defer c.Close()
+			for i := uint64(0); i < 3; i++ {
+				if err := c.EnqueueAsync(20+i, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitFor(t, 2*time.Second, func() bool { return c.Stats().Windows == 1 })
+			st := c.Stats()
+			if st.DeadlineFlushes != 1 || st.CapacityFlushes != 0 {
+				t.Fatalf("stats = %+v, want exactly one deadline flush", st)
+			}
+			if sizes := flush.batchSizes(); len(sizes) != 1 || sizes[0] != 3 {
+				t.Fatalf("batch sizes = %v, want [3]", sizes)
+			}
+			for i := uint64(0); i < 3; i++ {
+				sink.check(t, i, 20+i)
+			}
+		}},
+		{"deadline firing with no open window is an empty no-op flush", func(t *testing.T) {
+			flush := &refFlush{}
+			sink := newSinkRecorder()
+			c := NewCoalescer(2, 5*time.Millisecond, flush.fn, sink.fn)
+			defer c.Close()
+			// Fill to capacity instantly: the window seals before its
+			// deadline, and the already-armed timer later fires into
+			// nothing. That empty fire must not flush, error, or hang.
+			c.EnqueueAsync(30, 0)
+			c.EnqueueAsync(31, 1)
+			waitFor(t, 2*time.Second, func() bool { return c.Stats().EmptyDeadlines >= 1 })
+			st := c.Stats()
+			if st.Windows != 1 || st.CapacityFlushes != 1 {
+				t.Fatalf("stats = %+v, want the one capacity flush only", st)
+			}
+		}},
+		{"request arriving during a flush starts a fresh window", func(t *testing.T) {
+			flush := &refFlush{gate: make(chan struct{}), started: make(chan struct{}, 1)}
+			sink := newSinkRecorder()
+			c := NewCoalescer(2, 30*time.Millisecond, flush.fn, sink.fn)
+			defer c.Close()
+			c.EnqueueAsync(40, 0)
+			go c.EnqueueAsync(41, 1) // seals the window, runs the (gated) flush
+			<-flush.started
+			// The flush is mid-flight; this request must land in a fresh
+			// window, not the one being flushed.
+			if err := c.EnqueueAsync(42, 2); err != nil {
+				t.Fatal(err)
+			}
+			if got := pendingKeys(c); got != 1 {
+				t.Fatalf("fresh window holds %d keys, want 1", got)
+			}
+			close(flush.gate)
+			waitFor(t, 2*time.Second, func() bool { return sink.len() == 3 })
+			if sizes := flush.batchSizes(); len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 1 {
+				t.Fatalf("batch sizes = %v, want [2 1]", sizes)
+			}
+			for i := uint64(0); i < 3; i++ {
+				sink.check(t, i, 40+i)
+			}
+		}},
+		{"shutdown answers every in-flight waiter, then rejects", func(t *testing.T) {
+			flush := &refFlush{}
+			c := NewCoalescer(1024, time.Hour, flush.fn, nil)
+			const waiters = 3
+			type result struct {
+				key   uint64
+				value uint64
+				found bool
+				err   error
+			}
+			results := make(chan result, waiters)
+			for i := uint64(0); i < waiters; i++ {
+				go func(key uint64) {
+					v, f, err := c.Do(context.Background(), key)
+					results <- result{key, v, f, err}
+				}(60 + i)
+			}
+			waitFor(t, 2*time.Second, func() bool { return pendingKeys(c) == waiters })
+			c.Close()
+			for i := 0; i < waiters; i++ {
+				select {
+				case r := <-results:
+					if r.err != nil {
+						t.Fatalf("waiter %d got error %v, want a real answer", r.key, r.err)
+					}
+					wantAnswer(t, r.key, r.value, r.found)
+				case <-time.After(5 * time.Second):
+					t.Fatal("waiter hung across shutdown")
+				}
+			}
+			if st := c.Stats(); st.CloseFlushes != 1 {
+				t.Fatalf("stats = %+v, want one close flush", st)
+			}
+			if _, _, err := c.Do(context.Background(), 99); !errors.Is(err, ErrShutdown) {
+				t.Fatalf("post-close Do error = %v, want ErrShutdown", err)
+			}
+			if err := c.EnqueueAsync(99, 0); !errors.Is(err, ErrShutdown) {
+				t.Fatalf("post-close EnqueueAsync error = %v, want ErrShutdown", err)
+			}
+		}},
+		{"cancelled request abandons its slot without corrupting the batch", func(t *testing.T) {
+			flush := &refFlush{}
+			sink := newSinkRecorder()
+			c := NewCoalescer(1024, time.Hour, flush.fn, sink.fn)
+			ctx, cancel := context.WithCancel(context.Background())
+			errCh := make(chan error, 1)
+			go func() {
+				_, _, err := c.Do(ctx, 70)
+				errCh <- err
+			}()
+			waitFor(t, 2*time.Second, func() bool { return pendingKeys(c) == 1 })
+			cancel()
+			select {
+			case err := <-errCh:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancelled Do error = %v, want context.Canceled", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("cancelled Do did not return")
+			}
+			// The abandoned slot stays in the window; a later request joins
+			// the same batch and the flush sees both keys, in order.
+			if err := c.EnqueueAsync(71, 1); err != nil {
+				t.Fatal(err)
+			}
+			c.Close() // flushes the window with both keys
+			if sizes := flush.batchSizes(); len(sizes) != 1 || sizes[0] != 2 {
+				t.Fatalf("batch sizes = %v, want [2] (cancelled slot kept)", sizes)
+			}
+			sink.check(t, 1, 71)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.run(t) })
+	}
+}
+
+// TestCoalescerConcurrentExactness hammers one coalescer from many
+// goroutines and checks every single answer against the reference
+// function — any cross-slot mixup, lost wakeup, or double delivery
+// fails loudly. Run under -race this is the coalescer's core safety
+// proof.
+func TestCoalescerConcurrentExactness(t *testing.T) {
+	flush := &refFlush{}
+	c := NewCoalescer(16, 100*time.Microsecond, flush.fn, nil)
+	defer c.Close()
+	const goroutines = 8
+	const perG = 400
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := uint64(g*perG + i)
+				value, found, err := c.Do(context.Background(), key)
+				if err != nil || value != key*2 || found != (key%3 == 0) {
+					wrong.Add(1)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("concurrent requests hung")
+	}
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d wrong or failed answers", n)
+	}
+	st := c.Stats()
+	if st.Keys != goroutines*perG {
+		t.Fatalf("flushed %d keys, want %d", st.Keys, goroutines*perG)
+	}
+	if st.Windows >= goroutines*perG {
+		t.Fatalf("no coalescing happened: %d windows for %d keys", st.Windows, st.Keys)
+	}
+}
+
+// TestCoalescerCloseRace closes the coalescer while requests are
+// arriving from many goroutines: every request must resolve to either
+// a correct answer or ErrShutdown — never a hang, never a wrong
+// answer.
+func TestCoalescerCloseRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		flush := &refFlush{}
+		c := NewCoalescer(8, 50*time.Microsecond, flush.fn, nil)
+		var wg sync.WaitGroup
+		var wrong atomic.Int64
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					key := uint64(g*1000 + i)
+					value, found, err := c.Do(context.Background(), key)
+					if err != nil {
+						if !errors.Is(err, ErrShutdown) {
+							wrong.Add(1)
+						}
+						continue
+					}
+					if value != key*2 || found != (key%3 == 0) {
+						wrong.Add(1)
+					}
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		c.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("requests hung across Close")
+		}
+		if n := wrong.Load(); n != 0 {
+			t.Fatalf("round %d: %d wrong answers", round, n)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzRequestDecode throws arbitrary bytes at the single request-decode
+// entry point (binary frames and JSON bodies) and checks the parser's
+// contract: it either rejects with a typed error or returns a request
+// that is in-bounds, canonical (binary re-encodes to the input bytes),
+// and round-trips through the response encoder. The checked-in corpus
+// under testdata/fuzz/FuzzRequestDecode seeds the interesting shapes:
+// truncated frames, lying counts, oversized batches, malformed JSON.
+func FuzzRequestDecode(f *testing.F) {
+	// Valid inputs.
+	f.Add([]byte(`{"key": 7}`), false)
+	f.Add([]byte(`{"keys": [1, 2, 3]}`), false)
+	f.Add(AppendBinaryRequest(nil, OpContains, []uint64{1, 2}), true)
+	f.Add(AppendBinaryRequest(nil, OpGet, []uint64{^uint64(0)}), true)
+	f.Add(AppendBinaryRequest(nil, OpContains, nil), true)
+	// Malformed inputs.
+	f.Add([]byte(`{`), false)
+	f.Add([]byte(`{"key": 1, "keys": [2]}`), false)
+	f.Add([]byte(`{"keys": []}`), false)
+	f.Add([]byte("BQ"), true)
+	f.Add(AppendBinaryRequest(nil, OpContains, []uint64{1, 2})[:12], true)         // truncated keys
+	f.Add(append(AppendBinaryRequest(nil, OpContains, []uint64{1}), 0xee), true)   // trailing byte
+	f.Add([]byte{'B', 'Q', wireVersion, OpContains, 0xff, 0xff, 0xff, 0xff}, true) // count = 4B keys
+	f.Add([]byte{'B', 'R', wireVersion, OpContains, 1, 0, 0, 0, 1}, true)          // response magic as request
+	f.Add([]byte{'B', 'Q', 99, OpContains, 0, 0, 0, 0}, true)                      // future version
+	f.Add([]byte{'B', 'Q', wireVersion, 99, 0, 0, 0, 0}, true)                     // unknown op
+
+	f.Fuzz(func(t *testing.T, data []byte, binary bool) {
+		contentType := "application/json"
+		if binary {
+			contentType = BinaryContentType
+		}
+		req := Request{Keys: make([]uint64, 0, 8)} // exercise slice reuse
+		err := DecodeRequest(contentType, OpContains, data, &req)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("decode error is not typed: %v", err)
+			}
+			return
+		}
+		if !validOp(req.Op) {
+			t.Fatalf("accepted request with invalid op %d", req.Op)
+		}
+		if len(req.Keys) > MaxWireBatch {
+			t.Fatalf("accepted %d keys, cap is %d", len(req.Keys), MaxWireBatch)
+		}
+		if !binary && len(req.Keys) == 0 {
+			t.Fatal("JSON decode accepted an empty key set")
+		}
+		if binary {
+			// The binary format is canonical: what decoded must re-encode
+			// to the exact input bytes, or two different frames could mean
+			// the same request.
+			if again := AppendBinaryRequest(nil, req.Op, req.Keys); !bytes.Equal(again, data) {
+				t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, again)
+			}
+		}
+		// Any accepted request's answer must round-trip the response
+		// frame exactly.
+		found := make([]bool, len(req.Keys))
+		values := make([]uint64, len(req.Keys))
+		for i, k := range req.Keys {
+			found[i] = k&1 == 1
+			if req.Op == OpGet && found[i] {
+				values[i] = k
+			}
+		}
+		frame := AppendBinaryResponse(nil, req.Op, found, values)
+		var resp Response
+		if err := DecodeBinaryResponse(frame, &resp); err != nil {
+			t.Fatalf("encoded response does not decode: %v", err)
+		}
+		if resp.Op != req.Op || len(resp.Found) != len(found) {
+			t.Fatalf("response round trip changed shape: %+v", resp)
+		}
+		for i := range found {
+			if resp.Found[i] != found[i] {
+				t.Fatalf("found[%d] flipped across the wire", i)
+			}
+			if req.Op == OpGet && resp.Values[i] != values[i] {
+				t.Fatalf("values[%d] corrupted across the wire", i)
+			}
+		}
+	})
+}

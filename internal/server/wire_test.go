@@ -1,0 +1,191 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		op   byte
+		keys []uint64
+	}{
+		{"contains empty", OpContains, nil},
+		{"contains one", OpContains, []uint64{42}},
+		{"contains several", OpContains, []uint64{0, 1, ^uint64(0), 1 << 63}},
+		{"get", OpGet, []uint64{7, 8, 9}},
+		{"max batch", OpContains, make([]uint64, MaxWireBatch)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := AppendBinaryRequest(nil, tc.op, tc.keys)
+			var req Request
+			if err := DecodeBinaryRequest(frame, &req); err != nil {
+				t.Fatal(err)
+			}
+			if req.Op != tc.op || len(req.Keys) != len(tc.keys) {
+				t.Fatalf("decoded (op=%d, %d keys), want (op=%d, %d keys)", req.Op, len(req.Keys), tc.op, len(tc.keys))
+			}
+			for i := range tc.keys {
+				if req.Keys[i] != tc.keys[i] {
+					t.Fatalf("key %d = %d, want %d", i, req.Keys[i], tc.keys[i])
+				}
+			}
+			// Re-encoding the decoded request must reproduce the frame
+			// byte for byte — the format is canonical.
+			if again := AppendBinaryRequest(nil, req.Op, req.Keys); !bytes.Equal(again, frame) {
+				t.Fatal("re-encoded frame differs from original")
+			}
+		})
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		op     byte
+		found  []bool
+		values []uint64
+	}{
+		{"contains empty", OpContains, nil, nil},
+		{"contains seven", OpContains, []bool{true, false, true, true, false, false, true}, nil},
+		{"contains eight", OpContains, []bool{false, true, false, true, false, true, false, true}, nil},
+		{"contains nine", OpContains, []bool{true, true, true, true, true, true, true, true, true}, nil},
+		{"get", OpGet, []bool{true, false, true}, []uint64{11, 0, 33}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			frame := AppendBinaryResponse(nil, tc.op, tc.found, tc.values)
+			var resp Response
+			if err := DecodeBinaryResponse(frame, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Op != tc.op || len(resp.Found) != len(tc.found) {
+				t.Fatalf("decoded (op=%d, %d answers), want (op=%d, %d)", resp.Op, len(resp.Found), tc.op, len(tc.found))
+			}
+			for i := range tc.found {
+				if resp.Found[i] != tc.found[i] {
+					t.Fatalf("found[%d] = %v, want %v", i, resp.Found[i], tc.found[i])
+				}
+			}
+			if tc.op == OpGet {
+				for i := range tc.values {
+					if resp.Values[i] != tc.values[i] {
+						t.Fatalf("values[%d] = %d, want %d", i, resp.Values[i], tc.values[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBinaryRequestRejects(t *testing.T) {
+	valid := AppendBinaryRequest(nil, OpContains, []uint64{1, 2})
+	mutate := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), valid...))
+	}
+	cases := []struct {
+		name    string
+		frame   []byte
+		wantErr error
+	}{
+		{"empty", nil, ErrMalformed},
+		{"short header", valid[:reqHeaderLen-1], ErrMalformed},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), ErrMalformed},
+		{"bad version", mutate(func(b []byte) []byte { b[2] = 9; return b }), ErrMalformed},
+		{"bad op", mutate(func(b []byte) []byte { b[3] = 77; return b }), ErrMalformed},
+		{"truncated keys", valid[:len(valid)-3], ErrMalformed},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0), ErrMalformed},
+		{"count over batch cap", mutate(func(b []byte) []byte {
+			b[4], b[5], b[6], b[7] = 0xff, 0xff, 0, 0 // count = 65535 > MaxWireBatch
+			return b
+		}), ErrTooLarge},
+		{"count lies about length", mutate(func(b []byte) []byte { b[4] = 3; return b }), ErrMalformed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req Request
+			if err := DecodeBinaryRequest(tc.frame, &req); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeJSONKeys(t *testing.T) {
+	cases := []struct {
+		name     string
+		body     string
+		wantErr  error
+		wantKeys []uint64
+	}{
+		{"single key", `{"key": 7}`, nil, []uint64{7}},
+		{"key zero", `{"key": 0}`, nil, []uint64{0}},
+		{"batch", `{"keys": [1, 2, 3]}`, nil, []uint64{1, 2, 3}},
+		{"not json", `{`, ErrMalformed, nil},
+		{"wrong type", `{"key": "seven"}`, ErrMalformed, nil},
+		{"both key and keys", `{"key": 1, "keys": [2]}`, ErrMalformed, nil},
+		{"neither", `{}`, ErrMalformed, nil},
+		{"empty keys", `{"keys": []}`, ErrMalformed, nil},
+		{"negative key", `{"key": -1}`, ErrMalformed, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req Request
+			err := DecodeJSONKeys(OpContains, []byte(tc.body), &req)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("error = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(req.Keys) != len(tc.wantKeys) {
+				t.Fatalf("got %d keys, want %d", len(req.Keys), len(tc.wantKeys))
+			}
+			for i := range tc.wantKeys {
+				if req.Keys[i] != tc.wantKeys[i] {
+					t.Fatalf("key %d = %d, want %d", i, req.Keys[i], tc.wantKeys[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeJSONKeysTooLarge(t *testing.T) {
+	body := []byte(`{"keys": [`)
+	for i := 0; i <= MaxWireBatch; i++ {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, '1')
+	}
+	body = append(body, `]}`...)
+	var req Request
+	if err := DecodeJSONKeys(OpContains, body, &req); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestDecodeRequestDispatch checks the content-type switch: the binary
+// parser owns its op byte, the JSON parser takes the route's.
+func TestDecodeRequestDispatch(t *testing.T) {
+	var req Request
+	frame := AppendBinaryRequest(nil, OpGet, []uint64{5})
+	if err := DecodeRequest(BinaryContentType, OpContains, frame, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpGet {
+		t.Fatalf("binary decode op = %d, want the frame's op %d", req.Op, OpGet)
+	}
+	if err := DecodeRequest("application/json", OpContains, []byte(`{"key": 5}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpContains {
+		t.Fatalf("json decode op = %d, want the route's op %d", req.Op, OpContains)
+	}
+}

@@ -30,12 +30,19 @@ go run ./cmd/beyondbloom exp E18 -scale 0.1 >/dev/null
 echo "== crash-injection smoke (exp E19 -scale 0.1) =="
 go run ./cmd/beyondbloom exp E19 -scale 0.1 | python3 scripts/wal_bench_to_json.py >/dev/null
 
+echo "== filter-service smoke (exp E21 -scale 0.1) =="
+go run ./cmd/beyondbloom exp E21 -scale 0.1 | python3 scripts/service_bench_to_json.py >/dev/null
+
+echo "== filterd end-to-end smoke =="
+sh scripts/filterd_smoke.sh
+
 echo "== benchmark smoke (1 iteration, -short) =="
 go test -short -run '^$' -bench 'Filter|Persist|LSMConcurrent' -benchtime 1x -benchmem . >/dev/null
 
-echo "== codec + WAL fuzz burst (10s each) =="
+echo "== codec + WAL + wire fuzz burst (10s each) =="
 go test -run '^$' -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/codec >/dev/null
 go test -run '^$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/persisttest >/dev/null
 go test -run '^$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/persisttest >/dev/null
+go test -run '^$' -fuzz FuzzRequestDecode -fuzztime 10s ./internal/server >/dev/null
 
 echo "OK"

@@ -277,6 +277,27 @@ shows mean FPR degrading in near-lockstep (choices/blocked ~1.3-1.4×
 flat from 1× to 2× design load): two-choice balancing controls the
 per-block load *spread* (tail), not the mean, under uniform inserts.""",
 
+    "E21": """The filter service measured end to end (DESIGN.md §11): does
+coalescing concurrent point requests into hash-once/probe-many windows
+buy real capacity, and what does it cost in latency? The capacity
+table is the ceiling — the batched probe engine runs 1.4-1.6× the
+scalar engine over the Zipfian service stream on this 1-core
+container. The headline E21a sweep is OPEN-LOOP: Poisson arrivals
+replayed at offered loads set relative to measured scalar capacity,
+with each request's latency taken from its *scheduled* arrival, so
+queueing counts and an overloaded server shows a diverging tail
+instead of a flattering throughput number. Below the scalar knee the
+scalar path wins on p50 (sub-µs inline probe vs the coalescer's
+deadline wait); past the knee the coalescing server both achieves
+more throughput and holds a lower p99 — the BENCH_service.json
+acceptance predicate — with zero wrong membership answers in every
+cell. E21b is the honest closed-loop counterpoint: a lone blocking
+requester pays the whole window deadline (~1000× slower on one core),
+and coalesced throughput only climbs toward the batch kernels as
+fan-in grows (avg_batch tracks goroutine count almost exactly).
+Open-loop arrival fan-in — the service case — is where the window
+pays off; captive closed-loop clients are the wrong shape for it.""",
+
     "A1": """SuRF's own design space: hash suffixes cut point FPR (in space) but do
 nothing for correlated range queries, which need real suffixes — and even
 real suffixes can't fix the truncation-interval weakness at gap 2.""",
