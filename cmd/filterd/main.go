@@ -72,7 +72,7 @@ func usage() {
   filterd serve  [-addr host:port] [-filter file.bbf] [-store dir] [-durability none|buffered|group|always]
                  [-batch n] [-window dur] [-max-inflight n] [-max-inflight-writes n]
                  [-n keys] [-bits bits/key] [-log-shards k] [-portfile path]
-  filterd build  -o file.bbf [-n keys] [-bits bits/key] [-seed s]
+  filterd build  (-o file.bbf | -store dir [-policy none|bloom|monkey|maplet]) [-n keys] [-bits bits/key] [-seed s]
   filterd probe  -addr host:port (-key k | -keys k1,k2,...) [-binary] [-get]
   filterd put    -addr host:port -key k [-value v]
   filterd del    -addr host:port -key k
@@ -182,6 +182,20 @@ func cmdServe(args []string) error {
 	return nil
 }
 
+func parsePolicy(s string) (lsm.FilterPolicy, error) {
+	switch s {
+	case "none":
+		return lsm.PolicyNone, nil
+	case "bloom":
+		return lsm.PolicyBloom, nil
+	case "monkey":
+		return lsm.PolicyMonkey, nil
+	case "maplet":
+		return lsm.PolicyMaplet, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", s)
+}
+
 func parseDurability(s string) (lsm.Durability, error) {
 	switch s {
 	case "none":
@@ -198,19 +212,47 @@ func parseDurability(s string) (lsm.Durability, error) {
 
 // cmdBuild writes a .bbf filter file holding n deterministic workload
 // keys — enough to serve, smoke-test, and demonstrate hot reload
-// without a separate ingestion pipeline.
+// without a separate ingestion pipeline. With -store it instead (or
+// additionally) seeds an LSM store directory with the same key stream
+// (value = key) under the chosen filter policy, so serve -store can
+// exercise any read path — including the maplet-first index — end to
+// end.
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	out := fs.String("o", "", "output .bbf path (required)")
+	out := fs.String("o", "", "output .bbf path")
+	storeDir := fs.String("store", "", "seed an LSM store directory with the key stream (value = key)")
+	policy := fs.String("policy", "bloom", "store filter policy: none, bloom, monkey, maplet")
 	n := fs.Int("n", 100000, "number of keys")
 	bits := fs.Float64("bits", 12, "bits per key")
 	seed := fs.Uint64("seed", 42, "key-stream seed")
 	fs.Parse(args)
+	if *out == "" && *storeDir == "" {
+		return errors.New("one of -o or -store is required")
+	}
+	keys := workload.Keys(*n, *seed)
+	if *storeDir != "" {
+		pol, err := parsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		st, err := lsm.NewStore(lsm.Options{Policy: pol})
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
+			st.Put(k, k)
+		}
+		st.Flush()
+		if err := st.Save(*storeDir); err != nil {
+			return err
+		}
+		fmt.Printf("filterd: seeded store %s with %d keys (policy=%s, seed %d)\n", *storeDir, *n, *policy, *seed)
+	}
 	if *out == "" {
-		return errors.New("-o is required")
+		return nil
 	}
 	f := bloom.NewBlocked(*n+1, *bits)
-	for _, k := range workload.Keys(*n, *seed) {
+	for _, k := range keys {
 		if err := f.Insert(k); err != nil {
 			return err
 		}

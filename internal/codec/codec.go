@@ -70,6 +70,10 @@ const (
 	// KindWALRecord frames one write-ahead-log record (wal package): a
 	// batch of mutations stamped with contiguous log sequence numbers.
 	KindWALRecord uint16 = 6
+	// KindMapletV2 wraps a maplet image together with its packed-value
+	// geometry — the LSM's (run id, block offset) layout. A bare
+	// KindMaplet frame remains the v1 run-id-only image.
+	KindMapletV2 uint16 = 7
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -12,8 +12,8 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 27 { // E1-E21 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 27", len(exps))
+	if len(exps) != 28 { // E1-E22 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 28", len(exps))
 	}
 	for i, e := range exps[:20] {
 		if e.ID != "E"+itoa(i+1) {
@@ -197,6 +197,36 @@ func TestE20FrontierExperiment(t *testing.T) {
 	if rows["bloom"] != 6 || rows["blocked"] != 10 || rows["choices"] != 10 {
 		t.Errorf("E20 row counts bloom=%d blocked=%d choices=%d, want 6/10/10:\n%s",
 			rows["bloom"], rows["blocked"], rows["choices"], out)
+	}
+}
+
+// TestE22MapletFirstExperiment checks the maplet-first experiment's
+// invariant: every shape×policy cell answers with zero wrong results
+// against the exact model, all three policies appear in all three tree
+// shapes, and the batch table covers the sweep.
+func TestE22MapletFirstExperiment(t *testing.T) {
+	out := runOne(t, "E22")
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 7 {
+			continue
+		}
+		switch fields[0] {
+		case "uniform_leveling", "uniform_tiering", "churn_lazy_leveling":
+			rows++
+			if fields[6] != "0" {
+				t.Errorf("E22 cell reports wrong results:\n%s", line)
+			}
+		}
+	}
+	if rows != 9 {
+		t.Errorf("E22 produced %d point-read rows, want 9:\n%s", rows, out)
+	}
+	for _, name := range []string{"bloom_uniform", "monkey", "maplet_first", "E22b"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("E22 missing %s:\n%s", name, out)
+		}
 	}
 }
 

@@ -21,7 +21,7 @@ func (s *Store) flushMem(fm *memRun) {
 		entries = append(entries, e)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	s.pushRun(entries, 0)
+	s.pushRun(entries, 0, nil)
 }
 
 // levelCapacity returns the entry capacity of level i.
@@ -42,8 +42,11 @@ func (s *Store) ensureLevel(level int) {
 
 // pushRun installs entries at the given level. Under Leveling (or at the
 // last level under LazyLeveling) the new entries merge with the level's
-// existing run; otherwise the run is appended, newest first.
-func (s *Store) pushRun(entries []Entry, level int) {
+// existing run; otherwise the run is appended, newest first. sources
+// lists the already-merged runs the entries came from (nil for a fresh
+// flush); level runs merged away here join it, and under PolicyMaplet
+// the whole set feeds the in-place maplet remap in buildRun.
+func (s *Store) pushRun(entries []Entry, level int, sources []*run) {
 	s.ensureLevel(level)
 	// Lazy leveling merges only at the largest level, and never at level
 	// 0 (before any compaction has opened deeper levels, level 0 is
@@ -54,11 +57,13 @@ func (s *Store) pushRun(entries []Entry, level int) {
 		for _, old := range s.tree[level] {
 			entries = s.mergeEntries(entries, old.entries, s.isLastDataLevel(level))
 			s.devRead((len(old.entries) + entriesPerBlock - 1) / entriesPerBlock)
+			sources = append(sources, old)
+			old.remapped = s.maplet != nil
 			s.retireRun(old)
 		}
 		s.tree[level] = nil
 	}
-	r := s.buildRun(entries, level)
+	r := s.buildRun(entries, level, sources)
 	s.tree[level] = append([]*run{r}, s.tree[level]...)
 }
 
@@ -131,7 +136,10 @@ func (s *Store) allocRunID() uint64 {
 }
 
 // buildRun constructs the run plus its filters, charging write I/O.
-func (s *Store) buildRun(entries []Entry, level int) *run {
+// sources lists the retired runs the entries were merged from (nil for
+// a fresh flush); PolicyMaplet uses it to remap the surviving keys'
+// maplet entries in place.
+func (s *Store) buildRun(entries []Entry, level int, sources []*run) *run {
 	r := &run{id: s.allocRunID(), entries: entries, level: level}
 	s.devWrite((len(entries) + entriesPerBlock - 1) / entriesPerBlock)
 	keys := make([]uint64, len(entries))
@@ -153,14 +161,14 @@ func (s *Store) buildRun(entries []Entry, level int) *run {
 		}
 		r.filter = bf
 	case PolicyMaplet:
-		// Maplet entries for the new run go in before the view swap
-		// (readers ignore ids their view does not hold yet), and the
-		// retired runs' entries come out only after it — so a reader
-		// whose view is unchanged across its maplet read holds candidates
-		// covering every run of that view (see mapletGet).
-		for _, k := range keys {
-			s.mapletPut(k, r.id)
-		}
+		// Maplet maintenance happens before the view swap: a fresh flush
+		// inserts packed (run, block) values for its keys, a compaction
+		// re-points each surviving key from its source runs to the new run
+		// in one per-key step. A reader whose view is unchanged across its
+		// maplet read therefore holds candidates covering every run of
+		// that view; candidates naming a not-yet-published run mark the
+		// lookup inconclusive and it retries (see mapletGet).
+		s.mapletRemapRun(r, sources)
 	}
 	if s.opts.RangeFilter != nil {
 		r.rangeF = s.opts.RangeFilter(keys)
@@ -187,9 +195,62 @@ func (s *Store) monkeyFPR(level int) float64 {
 	return fpr
 }
 
-func (s *Store) mapletPut(key, runID uint64) {
-	if err := s.maplet.PutExpanding(key, runID); err != nil {
+// mapletRemapRun maintains the global maplet for a new run: a k-way
+// merge by key over the sorted source runs and the new run's entries
+// builds one remap op per key — delete every source incarnation's
+// packed value, insert the new run's packed value when the key
+// survived the merge — and mapletIndex.Apply executes them atomically
+// per key. Compared with the old insert-all-then-delete-all churn this
+// keeps the maplet's footprint flat (it never transiently doubles) and
+// halves the mutation count for overwritten keys. Keys present only in
+// the new run (a fresh flush, or memtable-only keys) degenerate to
+// pure inserts; keys only in sources (tombstones dropped at the last
+// level) to pure deletes.
+func (s *Store) mapletRemapRun(r *run, sources []*run) {
+	total := 0
+	for _, src := range sources {
+		total += len(src.entries)
+	}
+	arena := make([]uint64, 0, total)
+	ops := make([]mapletRemap, 0, len(r.entries)+total)
+	cur := make([]int, len(sources))
+	ni := 0
+	for {
+		var key uint64
+		have := false
+		if ni < len(r.entries) {
+			key, have = r.entries[ni].Key, true
+		}
+		for si, src := range sources {
+			if cur[si] < len(src.entries) {
+				if k := src.entries[cur[si]].Key; !have || k < key {
+					key, have = k, true
+				}
+			}
+		}
+		if !have {
+			break
+		}
+		start := len(arena)
+		for si, src := range sources {
+			if cur[si] < len(src.entries) && src.entries[cur[si]].Key == key {
+				arena = append(arena, s.mapletPack(src.id, cur[si]))
+				cur[si]++
+			}
+		}
+		op := mapletRemap{key: key, olds: arena[start:len(arena):len(arena)]}
+		if ni < len(r.entries) && r.entries[ni].Key == key {
+			op.put, op.newVal = true, s.mapletPack(r.id, ni)
+			ni++
+		}
+		ops = append(ops, op)
+	}
+	misses, err := s.maplet.Apply(ops, s.mapletSentinel)
+	if err != nil {
 		panic(fmt.Sprintf("lsm: maplet cannot expand: %v", err))
+	}
+	if misses > 0 {
+		s.mapletDeleteMisses.Add(int64(misses))
 	}
 }
 
@@ -213,17 +274,26 @@ func (s *Store) retireRun(old *run) {
 	s.recycleRun(old)
 }
 
-// recycleRun deletes a retired run's maplet entries, then returns its
-// id to the pool. The maplet deletes come first: once the id is in the
-// pool a concurrent allocator may reuse it and insert fresh entries
-// under it, which in-flight deletes for the old incarnation would
-// wrongly strip.
+// recycleRun strips a retired run's remaining maplet entries, then
+// returns its id to the pool. The maplet deletes come first: once the
+// id is in the pool a concurrent allocator may reuse it and insert
+// fresh entries under it, which in-flight deletes for the old
+// incarnation would wrongly strip. Runs consumed by a compaction are
+// marked remapped — the compaction's in-place remap already moved or
+// deleted their entries, so the strip loop is skipped for them; it
+// survives as a safety net for any retirement path that bypasses the
+// remap, and its misses feed the drift counter.
 func (s *Store) recycleRun(old *run) {
-	if s.maplet != nil {
-		for _, e := range old.entries {
-			// The entry may have been re-pointed already; delete is best
-			// effort keyed by (key, old run id).
-			_ = s.maplet.Delete(e.Key, old.id)
+	if s.maplet != nil && !old.remapped {
+		for i, e := range old.entries {
+			v := s.mapletPack(old.id, i)
+			if s.maplet.Delete(e.Key, v) == nil {
+				continue
+			}
+			if alt := s.mapletSentinel(v); alt != v && s.maplet.Delete(e.Key, alt) == nil {
+				continue
+			}
+			s.mapletDeleteMisses.Add(1)
 		}
 	}
 	s.idMu.Lock()
@@ -259,7 +329,7 @@ func (s *Store) compact() {
 			runs := s.tree[level]
 			s.tree[level] = nil
 			merged := s.drainRuns(runs, s.isLastDataLevel(level))
-			s.pushRun(merged, level+1)
+			s.pushRun(merged, level+1, runs)
 		case Tiering:
 			if len(s.tree[level]) < s.opts.SizeRatio {
 				continue
@@ -267,7 +337,7 @@ func (s *Store) compact() {
 			runs := s.tree[level]
 			s.tree[level] = nil
 			merged := s.drainRuns(runs, s.isLastDataLevel(level))
-			s.pushRun(merged, level+1)
+			s.pushRun(merged, level+1, runs)
 		case LazyLeveling:
 			// Tier every level except the largest; the largest spills to
 			// a fresh deeper level when it outgrows its capacity.
@@ -281,7 +351,7 @@ func (s *Store) compact() {
 			runs := s.tree[level]
 			s.tree[level] = nil
 			merged := s.drainRuns(runs, s.isLastDataLevel(level))
-			s.pushRun(merged, level+1)
+			s.pushRun(merged, level+1, runs)
 		}
 	}
 }
@@ -297,6 +367,7 @@ func (s *Store) drainRuns(runs []*run, lastLevel bool) []Entry {
 		} else {
 			merged = s.mergeEntries(merged, r.entries, lastLevel)
 		}
+		r.remapped = s.maplet != nil
 		s.retireRun(r)
 	}
 	return merged

@@ -352,6 +352,10 @@ type run struct {
 	filter  core.Filter
 	rangeF  core.RangeFilter
 	level   int
+	// remapped marks a run consumed by a compaction whose maplet
+	// entries the compaction's in-place remap already moved or deleted;
+	// recycleRun must not strip them again (see recycleRun).
+	remapped bool
 }
 
 func (r *run) minKey() uint64 { return r.entries[0].Key }
@@ -362,6 +366,29 @@ func (r *run) find(key uint64) (Entry, bool) {
 	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].Key >= key })
 	if i < len(r.entries) && r.entries[i].Key == key {
 		return r.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// findInBlock binary-searches one entriesPerBlock-sized block; the
+// caller has already paid the (single-block) I/O. An out-of-range
+// block — a stale offset left by a recycled-id collision — misses.
+func (r *run) findInBlock(key uint64, block uint64) (Entry, bool) {
+	if block > uint64(len(r.entries))/entriesPerBlock {
+		return Entry{}, false
+	}
+	lo := int(block) * entriesPerBlock
+	if lo >= len(r.entries) {
+		return Entry{}, false
+	}
+	hi := lo + entriesPerBlock
+	if hi > len(r.entries) {
+		hi = len(r.entries)
+	}
+	seg := r.entries[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i].Key >= key })
+	if i < len(seg) && seg[i].Key == key {
+		return seg[i], true
 	}
 	return Entry{}, false
 }
@@ -434,10 +461,18 @@ type Store struct {
 	freeIDs []uint64
 	nextID  uint64
 
-	maplet *mapletIndex
+	maplet     *mapletIndex
+	mapOffBits uint   // block-offset width of packed maplet values
+	mapOffNone uint64 // all-ones offset: the "offset unknown" sentinel
 
 	filterProbes    atomic.Int64
 	filterFallbacks atomic.Int64
+	// mapletDeleteMisses counts best-effort maplet deletions that found
+	// no matching entry (index-drift diagnostic); mapletFallbacks counts
+	// maplet lookups that lost the race with a compaction remap and
+	// degraded to probing every overlapping run.
+	mapletDeleteMisses atomic.Int64
+	mapletFallbacks    atomic.Int64
 
 	// ioRetry retries faulted device I/O before replica recovery.
 	ioRetry *fault.Retrier
@@ -477,8 +512,12 @@ func NewStore(opts Options) (*Store, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if opts.Policy == PolicyMaplet {
-		// 16-bit run ids; sized generously and expanded on demand.
-		s.maplet = newMapletIndex(quotient.NewMaplet(12, 12, 16))
+		// The maplet is the primary index: 16-bit recycled run ids packed
+		// with per-run block offsets (see mapletval.go); sized small here
+		// and expanded on demand.
+		s.mapOffBits = mapletOffsetBits(opts.MemtableSize, opts.SizeRatio)
+		s.mapOffNone = 1<<s.mapOffBits - 1
+		s.maplet = newMapletIndex(quotient.NewMaplet(12, 12, mapletRunBits+s.mapOffBits))
 	}
 	s.view.Store(&view{})
 	if opts.Background {
@@ -553,6 +592,18 @@ func (s *Store) FilterProbes() int { return int(s.filterProbes.Load()) }
 // FilterFallbacks counts lookups where a faulted filter probe forced
 // the store to probe runs directly (degraded mode).
 func (s *Store) FilterFallbacks() int { return int(s.filterFallbacks.Load()) }
+
+// MapletDeleteMisses counts best-effort maplet deletions (compaction
+// remaps, retired-run strips) that found no matching entry. Lookups
+// stay correct regardless — the maplet only routes — but a nonzero
+// value means the index drifted from the maintenance protocol's
+// expectations and is worth alarming on.
+func (s *Store) MapletDeleteMisses() int { return int(s.mapletDeleteMisses.Load()) }
+
+// MapletFallbacks counts maplet lookups that could not be resolved
+// against a stable view (a compaction remap was mid-flight for all
+// four attempts) and fell back to probing every overlapping run.
+func (s *Store) MapletFallbacks() int { return int(s.mapletFallbacks.Load()) }
 
 // devRead performs a fallible read of blocks: faulted attempts are
 // retried (each attempt pays its I/O), and exhausted retries recover

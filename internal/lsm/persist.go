@@ -46,6 +46,92 @@ func (r *run) writeTo(w io.Writer) (int64, error) {
 // entryBytes is the encoded size of one Entry (key + value + tombstone).
 const entryBytes = 17
 
+// testLegacyMapletImage, when set (tests only), substitutes a bare v1
+// KindMaplet frame for the versioned image so the v1→v2 load path can
+// be exercised end to end.
+var testLegacyMapletImage *quotient.Maplet
+
+// writeMapletImage frames the global maplet image. The current layout
+// is KindMapletV2: the packed-value geometry (run-id and block-offset
+// widths) followed by the maplet frame itself. v1 images — a bare
+// KindMaplet frame whose values are run ids only — are still read (see
+// readMapletImage) but never written.
+func (s *Store) writeMapletImage(w io.Writer) error {
+	if testLegacyMapletImage != nil {
+		_, err := testLegacyMapletImage.WriteTo(w)
+		return err
+	}
+	var e codec.Enc
+	e.U8(uint8(mapletRunBits))
+	e.U8(uint8(s.mapOffBits))
+	if _, err := s.maplet.WriteTo(&e); err != nil {
+		return err
+	}
+	_, err := codec.WriteFrame(w, codec.KindMapletV2, e.Bytes())
+	return err
+}
+
+// readMapletImage decodes a maplet image written by writeMapletImage
+// or by a pre-(run,offset) release, returning the maplet and the
+// block-offset width its packed values use. A v2 frame carries its
+// geometry. A v1 frame holds run-id-only values, which are widened in
+// place to the packed layout with every offset set to the unknown
+// sentinel — those entries resolve by whole-run search until
+// compactions rewrite them with exact offsets (lazy backfill).
+func readMapletImage(d *codec.Dec, memtableSize, sizeRatio int) (*quotient.Maplet, uint, error) {
+	kind, raw, err := codec.ReadRaw(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch kind {
+	case codec.KindMaplet: // v1: run-id-only values
+		m := &quotient.Maplet{}
+		if _, err := m.ReadFrom(bytes.NewReader(raw)); err != nil {
+			return nil, 0, err
+		}
+		if m.ValueBits() != mapletRunBits {
+			return nil, 0, fmt.Errorf("%w: lsm: v1 maplet image value width %d, want %d",
+				codec.ErrCorrupt, m.ValueBits(), mapletRunBits)
+		}
+		offBits := mapletOffsetBits(memtableSize, sizeRatio)
+		sentinel := uint64(1)<<offBits - 1
+		wide, err := m.RemapValues(mapletRunBits+offBits, func(v uint64) uint64 {
+			return v<<offBits | sentinel
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return wide, offBits, nil
+	case codec.KindMapletV2:
+		payload, err := codec.ReadFrame(bytes.NewReader(raw), codec.KindMapletV2)
+		if err != nil {
+			return nil, 0, err
+		}
+		id := codec.NewDec(payload)
+		runBits := uint(id.U8())
+		offBits := uint(id.U8())
+		if runBits != mapletRunBits || offBits < mapletMinOffsetBits || offBits > mapletMaxOffsetBits {
+			return nil, 0, fmt.Errorf("%w: lsm: maplet image geometry run=%d off=%d out of range",
+				codec.ErrCorrupt, runBits, offBits)
+		}
+		m := &quotient.Maplet{}
+		if _, err := m.ReadFrom(id); err != nil {
+			return nil, 0, err
+		}
+		if err := id.Finish(); err != nil {
+			return nil, 0, err
+		}
+		if m.ValueBits() != runBits+offBits {
+			return nil, 0, fmt.Errorf("%w: lsm: maplet value width %d disagrees with geometry %d+%d",
+				codec.ErrCorrupt, m.ValueBits(), runBits, offBits)
+		}
+		return m, offBits, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: lsm: maplet image frame kind %d, want %d (v1) or %d (v2)",
+			codec.ErrKind, kind, codec.KindMaplet, codec.KindMapletV2)
+	}
+}
+
 // readRun decodes one TypeLSMRun frame, validating the sort invariant
 // every lookup's binary search depends on.
 func readRun(rd io.Reader) (*run, error) {
@@ -264,10 +350,11 @@ func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, fre
 			e.Bool(r.filter != nil)
 		}
 	}
-	// Global maplet (PolicyMaplet): nested frame.
+	// Global maplet (PolicyMaplet): nested frame, versioned
+	// independently of the manifest (see writeMapletImage).
 	e.Bool(s.maplet != nil)
 	if s.maplet != nil {
-		if _, err := s.maplet.WriteTo(&e); err != nil {
+		if err := s.writeMapletImage(&e); err != nil {
 			return nil, err
 		}
 	}
@@ -532,9 +619,10 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	}
 	hasMaplet := d.Bool()
 	var maplet *quotient.Maplet
+	var mapOffBits uint
 	if d.Err() == nil && hasMaplet {
-		maplet = &quotient.Maplet{}
-		if _, err := maplet.ReadFrom(d); err != nil {
+		maplet, mapOffBits, err = readMapletImage(d, memtableSize, sizeRatio)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -577,6 +665,10 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	}
 	if maplet != nil {
 		s.maplet = newMapletIndex(maplet)
+		// The image's offset geometry is authoritative — it must match
+		// the packed values it carries, not what NewStore re-derived.
+		s.mapOffBits = mapOffBits
+		s.mapOffNone = 1<<mapOffBits - 1
 	}
 	s.mem = memtable
 	s.nextID = nextID

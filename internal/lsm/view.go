@@ -99,12 +99,14 @@ func (s *Store) GetBatch(keys []uint64, values []uint64, found []bool) {
 		return
 	}
 	if s.opts.Policy == PolicyMaplet {
-		// The maplet is a point structure routing each key to ~one run;
-		// there is no per-run filter to amortize, so the batch devolves
-		// to the scalar path per key.
-		for _, i := range pending {
-			values[i], found[i] = s.mapletGet(keys[i])
-		}
+		// Native maplet batch path: one batched maplet probe per attempt
+		// (hash-once under a single read lock) fetches every pending key's
+		// packed (run, block) candidates, then one newest-first walk over
+		// the view's runs probes them — grouping the block reads by run
+		// instead of re-walking the view per key. Results and I/O
+		// accounting match the scalar mapletGet exactly, retries and
+		// fallback included.
+		s.mapletGetBatch(keys, values, found, pending)
 		return
 	}
 	// Scratch for the per-run sub-batches (pooled — this path runs per
@@ -234,23 +236,34 @@ func frozenLookup(frozen []*memRun, key uint64) (Entry, bool) {
 	return Entry{}, false
 }
 
-// mapletGet probes only the runs the global maplet points to. When the
-// maplet block itself cannot be read, the lookup degrades to probing
-// every overlapping run (the PolicyNone cost) rather than failing.
+// mapletGet resolves a point lookup through the global maplet, the
+// store's primary index: each candidate value packs (run id, block
+// offset), so a hit costs one maplet probe plus one block read — no
+// per-run filter probes and no whole-run binary search. Candidates
+// carrying the unknown-offset sentinel (loaded from a v1 image, or a
+// run too deep for the offset width) fall back to a whole-run search
+// at the same single charged read. When the maplet block itself cannot
+// be read, the lookup degrades to probing every overlapping run (the
+// PolicyNone cost) rather than failing.
 //
-// Two ordering rules make this exact under concurrency (and under run-id
-// recycling, where a numerically higher id says nothing about recency):
+// Three ordering rules make this exact under concurrency (and under
+// run-id recycling, where a numerically higher id says nothing about
+// recency):
 //
-//   - Candidates are probed in view order — levels top-down, runs newest
-//     first within a level — so the newest version of the key (its
-//     tombstone included) always wins.
+//   - Candidates are probed in view order — levels top-down, runs
+//     newest first within a level — so the newest version of the key
+//     (its tombstone included) always wins.
 //   - The maplet is read after loading the view, and the result only
-//     counts if the view pointer is unchanged afterwards. A compaction
-//     that publishes mid-probe may have retired maplet entries this
-//     view still needs (retire-after-swap deletes them right after the
-//     swap), so the lookup retries against the fresh view; if it keeps
-//     losing that race it falls back to probing every overlapping run,
-//     which needs no maplet at all.
+//     counts if the view pointer is unchanged afterwards (a compaction
+//     publishing mid-probe may have remapped entries this view still
+//     needs).
+//   - A candidate whose run id the view does not hold means a
+//     compaction remap is mid-flight: the freshest version of this key
+//     may already have been re-pointed at a run the view cannot see
+//     yet, so the whole result — hit or not — is inconclusive, probing
+//     is skipped, and the lookup retries against a fresher view. If it
+//     keeps losing that race it falls back to probing every
+//     overlapping run, which needs no maplet at all.
 func (s *Store) mapletGet(key uint64) (uint64, bool) {
 	s.filterProbes.Add(1)
 	if s.opts.FilterFaults != nil {
@@ -259,39 +272,221 @@ func (s *Store) mapletGet(key uint64) (uint64, bool) {
 			return s.probeAllRuns(s.view.Load(), key)
 		}
 	}
+	sc := mapletGetPool.Get().(*mapletGetScratch)
+	defer mapletGetPool.Put(sc)
 	for attempt := 0; attempt < 4; attempt++ {
 		v := s.view.Load()
-		var value uint64
-		var live bool
-		found := false
-		if candidates := s.maplet.Get(key); len(candidates) > 0 {
-			want := make(map[uint64]bool, len(candidates))
-			for _, id := range candidates {
-				want[id] = true
+		sc.cand = s.maplet.GetAppend(sc.cand[:0], key)
+		value, live, found, conclusive := s.mapletResolve(v, key, sc.cand)
+		if !conclusive || s.view.Load() != v {
+			continue
+		}
+		return value, found && live
+	}
+	s.mapletFallbacks.Add(1)
+	return s.probeAllRuns(s.view.Load(), key)
+}
+
+// mapletResolve probes a candidate list against one view snapshot.
+// conclusive is false when some candidate's run id is absent from the
+// view (a compaction remap is mid-flight; see mapletGet); no device
+// read is charged in that case.
+func (s *Store) mapletResolve(v *view, key uint64, cand []uint64) (value uint64, live, found, conclusive bool) {
+	if len(cand) == 0 {
+		return 0, false, false, true
+	}
+	// Candidates come back sorted (the maplet run is value-ordered), so
+	// duplicates — colliding fingerprints packed identically — sit
+	// adjacent and are screened and probed once.
+	for i, c := range cand {
+		if i > 0 && c == cand[i-1] {
+			continue
+		}
+		if !viewHasRun(v, s.mapletValRun(c)) {
+			return 0, false, false, false
+		}
+	}
+	for level := 0; level < len(v.levels); level++ {
+		for _, r := range v.levels[level] { // newest first
+			for i, c := range cand {
+				if i > 0 && c == cand[i-1] {
+					continue
+				}
+				if s.mapletValRun(c) != r.id {
+					continue
+				}
+				s.devRead(1)
+				var e Entry
+				var ok bool
+				if off, exact := s.mapletValOffset(c); exact {
+					e, ok = r.findInBlock(key, off)
+				} else {
+					e, ok = r.find(key)
+				}
+				if ok {
+					return e.Value, !e.Tombstone, true, true
+				}
 			}
-		probe:
-			for level := 0; level < len(v.levels); level++ {
-				for _, r := range v.levels[level] { // newest first
-					if !want[r.id] {
+		}
+	}
+	return 0, false, false, true
+}
+
+// viewHasRun reports whether the view holds a run with this id.
+func viewHasRun(v *view, id uint64) bool {
+	for _, level := range v.levels {
+		for _, r := range level {
+			if r.id == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mapletGetScratch pools mapletGet's candidate buffer (≤1+ε entries at
+// steady state) so the serving hot path allocates nothing.
+type mapletGetScratch struct{ cand []uint64 }
+
+var mapletGetPool = sync.Pool{New: func() any { return new(mapletGetScratch) }}
+
+// mapletGetBatch is mapletGet over a pending sub-batch: per attempt,
+// one batched maplet probe resolves every unresolved key's candidates,
+// then a single newest-first walk over the view's runs probes them —
+// each run answers all of its keys before the walk moves on. Keys
+// whose candidates reference a run the view does not hold (a
+// compaction remap mid-flight) stay unresolved and retry with the next
+// view; after the attempt budget they fall back to probing every
+// overlapping run, exactly like the scalar path.
+func (s *Store) mapletGetBatch(keys []uint64, values []uint64, found []bool, pending []int32) {
+	sc := mapletBatchPool.Get().(*mapletBatchScratch)
+	rem, kbuf, ends, cand := sc.rem[:0], sc.keys, sc.ends, sc.cand
+	state, val, liv := sc.state, sc.val, sc.liv
+	defer func() {
+		sc.rem, sc.keys, sc.ends, sc.cand = rem, kbuf, ends, cand
+		sc.state, sc.val, sc.liv = state, val, liv
+		mapletBatchPool.Put(sc)
+	}()
+	// Fault pass: judge each key's maplet probe once, exactly as the
+	// scalar path does; faulted keys degrade to the filterless walk.
+	for _, i := range pending {
+		s.filterProbes.Add(1)
+		if s.opts.FilterFaults != nil {
+			if o := s.opts.FilterFaults.Next(); o.Err != nil || o.FlipBit >= 0 {
+				s.filterFallbacks.Add(1)
+				values[i], found[i] = s.probeAllRuns(s.view.Load(), keys[i])
+				continue
+			}
+		}
+		rem = append(rem, i)
+	}
+	for attempt := 0; attempt < 4 && len(rem) > 0; attempt++ {
+		v := s.view.Load()
+		kbuf = kbuf[:0]
+		for _, i := range rem {
+			kbuf = append(kbuf, keys[i])
+		}
+		ends, cand = s.maplet.GetBatch(kbuf, ends[:0], cand[:0])
+		n := len(rem)
+		if cap(state) < n {
+			state = make([]int8, n)
+			val = make([]uint64, n)
+			liv = make([]bool, n)
+		}
+		state, val, liv = state[:n], val[:n], liv[:n]
+		// state per key: 0 = unresolved, 1 = hit (val/liv), 2 =
+		// conclusively absent, 3 = inconclusive (some candidate's run is
+		// unknown to this view — retry).
+		for j := 0; j < n; j++ {
+			state[j] = 0
+			lo := int32(0)
+			if j > 0 {
+				lo = ends[j-1]
+			}
+			if lo == ends[j] {
+				state[j] = 2
+				continue
+			}
+			for ci := lo; ci < ends[j]; ci++ {
+				if ci > lo && cand[ci] == cand[ci-1] {
+					continue
+				}
+				if !viewHasRun(v, s.mapletValRun(cand[ci])) {
+					state[j] = 3
+					break
+				}
+			}
+		}
+		for level := 0; level < len(v.levels); level++ {
+			for _, r := range v.levels[level] { // newest first
+				for j := 0; j < n; j++ {
+					if state[j] != 0 {
 						continue
 					}
-					s.devRead(1)
-					if e, ok := r.find(key); ok {
-						value, live, found = e.Value, !e.Tombstone, true
-						break probe
+					lo := int32(0)
+					if j > 0 {
+						lo = ends[j-1]
+					}
+					for ci := lo; ci < ends[j]; ci++ {
+						c := cand[ci]
+						if ci > lo && c == cand[ci-1] {
+							continue
+						}
+						if s.mapletValRun(c) != r.id {
+							continue
+						}
+						s.devRead(1)
+						var e Entry
+						var ok bool
+						if off, exact := s.mapletValOffset(c); exact {
+							e, ok = r.findInBlock(keys[rem[j]], off)
+						} else {
+							e, ok = r.find(keys[rem[j]])
+						}
+						if ok {
+							state[j], val[j], liv[j] = 1, e.Value, !e.Tombstone
+							break
+						}
 					}
 				}
 			}
 		}
-		if s.view.Load() == v {
-			if found {
-				return value, live
-			}
-			return 0, false
+		if s.view.Load() != v {
+			continue // commit nothing; retry the whole remainder
 		}
+		next := rem[:0]
+		for j := 0; j < n; j++ {
+			i := rem[j]
+			switch state[j] {
+			case 1:
+				values[i], found[i] = val[j], liv[j]
+			case 2, 0: // absent, or every candidate probed without a hit
+				values[i], found[i] = 0, false
+			default:
+				next = append(next, i)
+			}
+		}
+		rem = next
 	}
-	return s.probeAllRuns(s.view.Load(), key)
+	for _, i := range rem {
+		s.mapletFallbacks.Add(1)
+		values[i], found[i] = s.probeAllRuns(s.view.Load(), keys[i])
+	}
 }
+
+// mapletBatchScratch pools mapletGetBatch's worklists; nothing in it
+// retains store data, only key copies, packed values, and positions.
+type mapletBatchScratch struct {
+	rem   []int32
+	keys  []uint64
+	ends  []int32
+	cand  []uint64
+	state []int8
+	val   []uint64
+	liv   []bool
+}
+
+var mapletBatchPool = sync.Pool{New: func() any { return new(mapletBatchScratch) }}
 
 // probeAllRuns is the filterless fallback: binary-search every run whose
 // key range covers key, newest first, paying one read per probed run.

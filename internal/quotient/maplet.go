@@ -1,6 +1,7 @@
 package quotient
 
 import (
+	"fmt"
 	"sort"
 
 	"beyondbloom/internal/core"
@@ -108,6 +109,64 @@ func (m *Maplet) Get(key uint64) []uint64 {
 	return out
 }
 
+// GetAppend appends every value whose entry matches key's fingerprint
+// to dst and returns the extended slice: Get without the allocation,
+// for callers that pool the candidate buffer across lookups.
+func (m *Maplet) GetAppend(dst []uint64, key uint64) []uint64 {
+	fq, fr := m.fingerprint(key)
+	return m.appendFP(dst, fq, fr)
+}
+
+// appendFP appends the values of every entry in fq's run whose
+// remainder matches fr.
+func (m *Maplet) appendFP(dst []uint64, fq, fr uint64) []uint64 {
+	start, length, ok := m.t.findRunFast(fq)
+	if !ok {
+		return dst
+	}
+	pos := start
+	for i := uint64(0); i < length; i++ {
+		e := m.t.payload.Get(int(pos))
+		if e>>m.vBits == fr {
+			dst = append(dst, e&hashutil.Mask(m.vBits))
+		}
+		pos = (pos + 1) & m.t.mask
+	}
+	return dst
+}
+
+// GetBatch resolves every key's candidate values in one pass,
+// hash-once / probe-many like Filter.ContainsBatch: a chunk's
+// fingerprints are all computed up front, a pure load loop fetches
+// each quotient's occupied-bit word so the cache misses overlap, and
+// only keys whose quotient is occupied pay for the cluster walk. Key
+// i's candidates land in dst[ends[i-1]:ends[i]] (ends[-1] reads as 0).
+// Both slices are appended to and returned so callers can pool the
+// backing arrays.
+func (m *Maplet) GetBatch(keys []uint64, ends []int32, dst []uint64) ([]int32, []uint64) {
+	occWords := m.t.occupied.Words()
+	var fqs, frs, ows [core.BatchChunk]uint64
+	for start := 0; start < len(keys); start += core.BatchChunk {
+		chunk := keys[start:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		for i, k := range chunk {
+			fqs[i], frs[i] = m.fingerprint(k)
+		}
+		for i := range chunk {
+			ows[i] = occWords[fqs[i]>>6]
+		}
+		for i := range chunk {
+			if ows[i]>>(fqs[i]&63)&1 == 1 {
+				dst = m.appendFP(dst, fqs[i], frs[i])
+			}
+			ends = append(ends, int32(len(dst)))
+		}
+	}
+	return ends, dst
+}
+
 // Delete removes one (key, value) association. Returns ErrNotFound if no
 // matching entry exists.
 func (m *Maplet) Delete(key, value uint64) error {
@@ -194,6 +253,40 @@ func (m *Maplet) Expand() error {
 	*m = *nm
 	return nil
 }
+
+// RemapValues rebuilds the maplet with value width vBits, passing
+// every stored value through f. Fingerprints are preserved exactly, so
+// lookups match the same keys as before and return the remapped
+// values. The LSM store uses it to widen v1 (run-id-only) maplet
+// images into the packed (run, offset) layout.
+func (m *Maplet) RemapValues(vBits uint, f func(uint64) uint64) (*Maplet, error) {
+	if vBits < 1 || m.r+vBits > 58 {
+		return nil, fmt.Errorf("quotient: remapped maplet geometry r=%d vBits=%d out of range", m.r, vBits)
+	}
+	nm := NewMaplet(m.t.q, m.r, vBits)
+	nm.seed = m.seed
+	nm.identity = m.identity
+	for _, e := range m.Entries() {
+		fq := e.Fingerprint >> m.r
+		fr := e.Fingerprint & hashutil.Mask(m.r)
+		entry := fr<<vBits | (f(e.Value) & hashutil.Mask(vBits))
+		if _, err := nm.t.mutate(fq, func(slots []uint64) []uint64 {
+			i := sort.Search(len(slots), func(i int) bool { return slots[i] >= entry })
+			out := make([]uint64, 0, len(slots)+1)
+			out = append(out, slots[:i]...)
+			out = append(out, entry)
+			out = append(out, slots[i:]...)
+			return out
+		}); err != nil {
+			return nil, err
+		}
+		nm.n++
+	}
+	return nm, nil
+}
+
+// ValueBits returns the value width in bits.
+func (m *Maplet) ValueBits() uint { return m.vBits }
 
 // CheckInvariants validates internal consistency (test hook).
 func (m *Maplet) CheckInvariants() error { return m.t.checkInvariants() }

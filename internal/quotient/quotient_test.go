@@ -531,6 +531,107 @@ func TestMapletUpdate(t *testing.T) {
 	}
 }
 
+func TestMapletGetAppendMatchesGet(t *testing.T) {
+	m := NewMaplet(12, 10, 20)
+	keys := workload.Keys(3000, 53)
+	for i, k := range keys {
+		if err := m.Put(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := append(append([]uint64{}, keys[:500]...), workload.DisjointKeys(500, 53)...)
+	scratch := make([]uint64, 0, 8)
+	for _, k := range probe {
+		want := m.Get(k)
+		got := m.GetAppend(scratch[:0], k)
+		if len(got) != len(want) {
+			t.Fatalf("GetAppend(%d) = %v, Get = %v", k, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("GetAppend(%d) = %v, Get = %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestMapletGetBatchMatchesGet(t *testing.T) {
+	m := NewMaplet(12, 10, 20)
+	keys := workload.Keys(4000, 59)
+	for i, k := range keys {
+		if err := m.Put(k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := append(append([]uint64{}, keys[:700]...), workload.DisjointKeys(700, 59)...)
+	// A batch that is not a multiple of the chunk size exercises the
+	// tail path.
+	probe = probe[:1399]
+	ends, vals := m.GetBatch(probe, nil, nil)
+	if len(ends) != len(probe) {
+		t.Fatalf("GetBatch returned %d ends for %d keys", len(ends), len(probe))
+	}
+	lo := int32(0)
+	for i, k := range probe {
+		want := m.Get(k)
+		got := vals[lo:ends[i]]
+		if len(got) != len(want) {
+			t.Fatalf("key %d: batch candidates %v, scalar %v", k, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("key %d: batch candidates %v, scalar %v", k, got, want)
+			}
+		}
+		lo = ends[i]
+	}
+}
+
+func TestMapletRemapValues(t *testing.T) {
+	m := NewMaplet(12, 12, 16)
+	keys := workload.Keys(2000, 61)
+	for i, k := range keys {
+		if err := m.Put(k, uint64(i%1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wide, err := m.RemapValues(24, func(v uint64) uint64 { return v<<8 | 0xFF })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Len() != m.Len() {
+		t.Fatalf("remapped Len = %d, want %d", wide.Len(), m.Len())
+	}
+	if wide.ValueBits() != 24 {
+		t.Fatalf("remapped ValueBits = %d, want 24", wide.ValueBits())
+	}
+	if err := wide.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want := uint64(i%1000)<<8 | 0xFF
+		found := false
+		for _, v := range wide.Get(k) {
+			if v == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %d: remapped value %#x missing from %v", k, want, wide.Get(k))
+		}
+	}
+	// Fingerprints are preserved: absent keys collide exactly as before.
+	for _, k := range workload.DisjointKeys(3000, 61) {
+		if len(m.Get(k)) != len(wide.Get(k)) {
+			t.Fatalf("key %d: candidate count changed across remap (%d vs %d)",
+				k, len(m.Get(k)), len(wide.Get(k)))
+		}
+	}
+	if _, err := m.RemapValues(50, func(v uint64) uint64 { return v }); err == nil {
+		t.Error("RemapValues accepted r+vBits > 58")
+	}
+}
+
 func TestMapletExpand(t *testing.T) {
 	m := NewMaplet(8, 12, 8)
 	keys := workload.Keys(200, 47)

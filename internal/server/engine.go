@@ -307,6 +307,8 @@ func (e *Engine) gatherAll() []metricPoint {
 			metricPoint{"filterd_store_device_writes_total", "", "", int64(c.Writes)},
 			metricPoint{"filterd_store_filter_probes_total", "", "", int64(e.store.FilterProbes())},
 			metricPoint{"filterd_store_filter_fallbacks_total", "", "", int64(e.store.FilterFallbacks())},
+			metricPoint{"filterd_store_maplet_delete_misses_total", "", "", int64(e.store.MapletDeleteMisses())},
+			metricPoint{"filterd_store_maplet_fallbacks_total", "", "", int64(e.store.MapletFallbacks())},
 		)
 	}
 	return points

@@ -3,8 +3,10 @@
 # batch_bench_test.go), the persistence codec benchmarks
 # (-> BENCH_persist.json, see persist_bench_test.go), the
 # concurrent LSM store benchmarks (-> BENCH_lsm_concurrent.json, see
-# lsm_concurrent_bench_test.go), and the WAL durability ablation
-# (-> BENCH_wal.json, see exp_wal.go).
+# lsm_concurrent_bench_test.go), the WAL durability ablation
+# (-> BENCH_wal.json, see exp_wal.go), the filter-service sweep
+# (-> BENCH_service.json, see exp_service.go), and the maplet-first
+# LSM read path (-> BENCH_lsm_maplet.json, see exp_lsm_maplet.go).
 # Setup builds multi-MB filters, so a full run takes a few minutes.
 #
 # Usage:
@@ -58,3 +60,8 @@ echo "== exp E21 (filter service: open-loop coalescing sweep) =="
 go run ./cmd/beyondbloom exp E21 | tee "$RAW"
 python3 scripts/service_bench_to_json.py <"$RAW" >BENCH_service.json
 echo "wrote BENCH_service.json"
+
+echo "== exp E22 (maplet-first LSM reads + batched maplet probes) =="
+go run ./cmd/beyondbloom exp E22 | tee "$RAW"
+python3 scripts/lsm_maplet_bench_to_json.py <"$RAW" >BENCH_lsm_maplet.json
+echo "wrote BENCH_lsm_maplet.json"

@@ -33,6 +33,9 @@ go run ./cmd/beyondbloom exp E19 -scale 0.1 | python3 scripts/wal_bench_to_json.
 echo "== filter-service smoke (exp E21 -scale 0.1) =="
 go run ./cmd/beyondbloom exp E21 -scale 0.1 | python3 scripts/service_bench_to_json.py >/dev/null
 
+echo "== maplet-first smoke (exp E22 -scale 0.1) =="
+go run ./cmd/beyondbloom exp E22 -scale 0.1 | python3 scripts/lsm_maplet_bench_to_json.py >/dev/null
+
 echo "== filterd end-to-end smoke =="
 sh scripts/filterd_smoke.sh
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Convert `beyondbloom exp E22` output into BENCH_lsm_maplet.json.
+
+Reads the experiment's rendered tables on stdin and writes JSON on
+stdout:
+
+  {
+    "meta": {"experiment": "E22", "n": ...},
+    "point_reads": [{"shape", "policy", "runs", "reads_per_hit",
+                     "reads_per_miss", "filter_bytes_per_key",
+                     "wrong_results"}, ...],
+    "batch": [{"batch", "scalar_mkeys_s", "batch_mkeys_s",
+               "speedup"}, ...],
+    "acceptance": {"maplet_max_reads_per_hit": ...,
+                   "maplet_hit_within_1_2": ...,
+                   "wrong_results_total": ...,
+                   "batch_256_speedup": ...,
+                   "batch_256_at_least_1_3x": ...}
+  }
+
+The point-read rows charge the simulated device per block touched (see
+exp_lsm_maplet.go), which bench_to_json.py cannot produce from
+`go test -bench` ns/op lines. Acceptance holds when the maplet-first
+rows answer present keys in at most 1.2 device reads per lookup, no
+cell anywhere returned a wrong result against the exact model, and the
+native maplet GetBatch beats scalar Gets by at least 1.3x at batch 256.
+"""
+
+import json
+import re
+import sys
+
+E22_META_RE = re.compile(r"E22: maplet-first point reads vs per-run filters \(n=(\d+)")
+SHAPES = {"uniform_leveling", "uniform_tiering", "churn_lazy_leveling"}
+BATCHES = {"16", "64", "256", "1024"}
+
+
+def parse(lines):
+    meta = {"experiment": "E22", "n": None}
+    point_reads, batch = [], []
+    for line in lines:
+        m = E22_META_RE.search(line)
+        if m:
+            meta["n"] = int(m.group(1))
+            continue
+        fields = line.split()
+        if len(fields) == 7 and fields[0] in SHAPES:
+            point_reads.append(
+                {
+                    "shape": fields[0],
+                    "policy": fields[1],
+                    "runs": int(fields[2]),
+                    "reads_per_hit": float(fields[3]),
+                    "reads_per_miss": float(fields[4]),
+                    "filter_bytes_per_key": float(fields[5]),
+                    "wrong_results": int(fields[6]),
+                }
+            )
+        elif len(fields) == 4 and fields[0] in BATCHES:
+            batch.append(
+                {
+                    "batch": int(fields[0]),
+                    "scalar_mkeys_s": float(fields[1]),
+                    "batch_mkeys_s": float(fields[2]),
+                    "speedup": float(fields[3]),
+                }
+            )
+    return meta, point_reads, batch
+
+
+def main():
+    meta, point_reads, batch = parse(sys.stdin)
+    if not point_reads or not batch:
+        sys.exit("lsm_maplet_bench_to_json: no E22 tables found on stdin")
+    maplet = [r for r in point_reads if r["policy"] == "maplet_first"]
+    acceptance = {
+        "wrong_results_total": sum(r["wrong_results"] for r in point_reads),
+    }
+    if maplet:
+        worst = max(r["reads_per_hit"] for r in maplet)
+        acceptance["maplet_max_reads_per_hit"] = worst
+        acceptance["maplet_hit_within_1_2"] = worst <= 1.2
+    at256 = next((r for r in batch if r["batch"] == 256), None)
+    if at256:
+        acceptance["batch_256_speedup"] = at256["speedup"]
+        acceptance["batch_256_at_least_1_3x"] = at256["speedup"] >= 1.3
+    json.dump(
+        {
+            "meta": meta,
+            "point_reads": point_reads,
+            "batch": batch,
+            "acceptance": acceptance,
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()
