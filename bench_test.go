@@ -91,7 +91,10 @@ func BenchmarkFilterInsert_Cuckoo(b *testing.B) {
 }
 
 func BenchmarkFilterInsert_Infini(b *testing.B) {
-	f := infini.New(10)
+	f, err := infini.New(10)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Insert(uint64(i))

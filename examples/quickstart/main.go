@@ -61,7 +61,8 @@ func main() {
 	fmt.Printf("maplet:   Get(keys[42]) = %v (PRS ≈ 1+ε)\n", m.Get(keys[42]))
 
 	// 6. Expansion: an InfiniFilter grows 64x with a stable FPR.
-	inf := infini.New(8)
+	inf, err := infini.New(8)
+	must(err)
 	for _, k := range keys[:50000] {
 		must(inf.Insert(k))
 	}

@@ -233,7 +233,10 @@ func TestSpectralOverflow(t *testing.T) {
 }
 
 func TestScalableGrowsAndKeepsFPR(t *testing.T) {
-	s := NewScalable(1000, 0.01)
+	s, err := NewScalable(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
 	keys := workload.Keys(50000, 13) // 50x initial capacity
 	for _, k := range keys {
 		s.Insert(k)
@@ -251,7 +254,10 @@ func TestScalableGrowsAndKeepsFPR(t *testing.T) {
 }
 
 func TestScalableEmptyContains(t *testing.T) {
-	s := NewScalable(10, 0.01)
+	s, err := NewScalable(10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Contains(1) {
 		t.Fatal("empty scalable filter claims membership")
 	}

@@ -18,6 +18,9 @@ func init() {
 	core.Register(core.TypeBlockedChoices, "bloom.BlockedChoices",
 		func() core.Persistent { return &BlockedChoices{} },
 		func(s core.Spec) (core.Persistent, error) { return BlockedChoicesFromSpec(s) })
+	core.Register(core.TypeScalableBloom, "bloom.Scalable",
+		func() core.Persistent { return &Scalable{} },
+		func(s core.Spec) (core.Persistent, error) { return ScalableFromSpec(s) })
 }
 
 // TypeID returns the stable wire-format id (see core.Persistent).
@@ -169,8 +172,83 @@ func (f *BlockedChoices) ReadFrom(r io.Reader) (int64, error) {
 	return int64(codec.HeaderSize + len(payload)), nil
 }
 
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (s *Scalable) TypeID() uint16 { return core.TypeScalableBloom }
+
+// WriteTo serializes the chain as one codec frame: the construction
+// Spec (initial capacity + ε budget), the insert count, and the stages
+// as nested bloom frames. Growth state — how many stages are open, each
+// stage's geometry and fill — is exactly the chain itself, so a
+// restored filter resumes growing where the original stopped.
+func (s *Scalable) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	spec := core.Spec{Type: core.TypeScalableBloom, N: s.initialCap, BitsPerKey: s.epsilon}
+	spec.Encode(&e)
+	e.U64(uint64(s.n))
+	e.U32(uint32(len(s.stages)))
+	for _, st := range s.stages {
+		if _, err := st.WriteTo(&e); err != nil {
+			return 0, err
+		}
+	}
+	return codec.WriteFrame(w, core.TypeScalableBloom, e.Bytes())
+}
+
+// ReadFrom restores a chain written by WriteTo into the receiver. The
+// stage capacities and tightening schedule are recomputed from the Spec
+// and cross-checked against the stored stages, so a corrupt or
+// inconsistent chain is rejected rather than silently served.
+func (s *Scalable) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeScalableBloom)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	n := d.U64()
+	numStages := d.U32()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	if numStages > 62 {
+		return 0, d.Corruptf("bloom: scalable stage count %d out of range", numStages)
+	}
+	ns, err := ScalableFromSpec(spec)
+	if err != nil {
+		return 0, d.Corruptf("%v", err)
+	}
+	sum := 0
+	for i := uint32(0); i < numStages; i++ {
+		var st Filter
+		if _, err := st.ReadFrom(d); err != nil {
+			return 0, err
+		}
+		ns.stages = append(ns.stages, &st)
+		cap := ns.initialCap
+		for range ns.stages[:i] {
+			cap *= ns.growth
+		}
+		ns.stageCap = append(ns.stageCap, cap)
+		ns.stageEps *= ns.tightening
+		if i+1 < numStages && st.Len() < cap {
+			return 0, d.Corruptf("bloom: scalable stage %d holds %d keys below its capacity %d but is not the newest", i, st.Len(), cap)
+		}
+		sum += st.Len()
+	}
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	if sum != int(n) {
+		return 0, d.Corruptf("bloom: scalable stage lengths sum to %d, header says %d", sum, n)
+	}
+	ns.n = int(n)
+	*s = *ns
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
 var (
 	_ core.Persistent = (*Filter)(nil)
 	_ core.Persistent = (*Blocked)(nil)
 	_ core.Persistent = (*BlockedChoices)(nil)
+	_ core.Persistent = (*Scalable)(nil)
 )

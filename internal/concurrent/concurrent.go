@@ -220,9 +220,41 @@ func (s *Sharded) SizeBits() int {
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
+// Expansions sums the capacity doublings across growable shards (zero
+// when the shards are fixed-capacity filters). Shards grow
+// independently — each behind its own lock, with no cross-shard
+// coordination — so the sum advances smoothly rather than in
+// whole-structure steps.
+func (s *Sharded) Expansions() int {
+	total := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		if g, ok := s.shards[i].f.(core.GrowableFilter); ok {
+			total += g.Expansions()
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// FPRBudget returns the shards' common false-positive budget: every
+// shard sees a disjoint slice of the keyspace, so the wrapper's
+// compound FPR is its shards' budget, not their sum. Zero when the
+// shards are not growable filters.
+func (s *Sharded) FPRBudget() float64 {
+	if len(s.shards) == 0 {
+		return 0
+	}
+	if g, ok := s.shards[0].f.(core.GrowableFilter); ok {
+		return g.FPRBudget()
+	}
+	return 0
+}
+
 var (
 	_ core.DeletableFilter = (*Sharded)(nil)
 	_ core.BatchFilter     = (*Sharded)(nil)
+	_ core.GrowableFilter  = (*Sharded)(nil)
 )
 
 // Counting is the sharded wrapper for counting filters.

@@ -1,0 +1,141 @@
+package concurrent
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/taffy"
+	"beyondbloom/internal/workload"
+)
+
+func newShardedTaffy(tb testing.TB, logShards uint, eps float64) *Sharded {
+	tb.Helper()
+	s, err := NewShardedMutable(logShards, func(int) core.MutableFilter {
+		f, err := taffy.New(64, eps)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return f
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// TestShardedGrowableBasics checks the wrapper surfaces the growable
+// interface: expansions accumulate across shards and the budget is the
+// shards' common budget (disjoint keyspace slices, not a sum).
+func TestShardedGrowableBasics(t *testing.T) {
+	s := newShardedTaffy(t, 3, 1.0/256)
+	if got := s.FPRBudget(); got != 1.0/256 {
+		t.Fatalf("FPRBudget = %v, want 1/256", got)
+	}
+	if got := s.Expansions(); got != 0 {
+		t.Fatalf("Expansions = %d before any insert", got)
+	}
+	keys := workload.Keys(100_000, 0x60)
+	for _, k := range keys {
+		if err := s.Insert(k); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if got := s.Expansions(); got < 8 {
+		t.Fatalf("Expansions = %d after 100k inserts into 8x64-cap shards", got)
+	}
+	out := make([]bool, len(keys))
+	s.ContainsBatch(keys, out)
+	for i, ok := range out {
+		if !ok {
+			t.Fatalf("false negative at %d after sharded growth", i)
+		}
+	}
+	// A fixed-capacity sharded filter reports no growth capability.
+	fixed := newShardedQF(t, 2, 4096)
+	if fixed.Expansions() != 0 || fixed.FPRBudget() != 0 {
+		t.Fatal("fixed-capacity shards claim growable state")
+	}
+}
+
+// TestShardedGrowUnderConcurrentProbes is the satellite -race test:
+// writers drive every shard through multiple doubling rounds while
+// readers hammer scalar and batched probes of already-inserted keys.
+// The one-lock-per-shard protocol must make each shard's growth
+// invisible to probes — no false negatives, no torn reads, no races.
+func TestShardedGrowUnderConcurrentProbes(t *testing.T) {
+	const (
+		logShards = 3
+		writers   = 4
+		readers   = 4
+		perWriter = 20_000
+	)
+	s := newShardedTaffy(t, logShards, 1.0/128)
+	keys := workload.Keys(writers*perWriter, 0x6012)
+
+	// inserted[i] flips to 1 only after keys[i] is in the filter, so
+	// readers only assert on keys whose insert has completed.
+	inserted := make([]atomic.Bool, len(keys))
+	var done atomic.Bool
+	var wrongResults atomic.Int64
+
+	var writeWG, readWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := w * perWriter; i < (w+1)*perWriter; i++ {
+				if err := s.Insert(keys[i]); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+				inserted[i].Store(true)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			batch := make([]uint64, 256)
+			out := make([]bool, 256)
+			pre := make([]bool, 256)
+			for round := 0; !done.Load(); round++ {
+				base := (r*7919 + round*4099) % (len(keys) - len(batch))
+				copy(batch, keys[base:base+len(batch)])
+				// Snapshot the inserted flags BEFORE probing: only a key
+				// whose insert had completed before the probe started is
+				// guaranteed a positive answer.
+				for j := range batch {
+					pre[j] = inserted[base+j].Load()
+				}
+				s.ContainsBatch(batch, out)
+				for j := range batch {
+					if pre[j] && !out[j] {
+						wrongResults.Add(1)
+					}
+				}
+				if pre[0] && !s.Contains(keys[base]) {
+					wrongResults.Add(1)
+				}
+				_ = s.Expansions() // growth counters race-free under probes
+			}
+		}(r)
+	}
+	writeWG.Wait()
+	done.Store(true)
+	readWG.Wait()
+
+	if n := wrongResults.Load(); n != 0 {
+		t.Fatalf("wrong_results = %d (false negatives under concurrent growth)", n)
+	}
+	if got := s.Expansions(); got < 8 {
+		t.Fatalf("Expansions = %d, expected every shard to double repeatedly", got)
+	}
+	for i, k := range keys {
+		if !s.Contains(k) {
+			t.Fatalf("false negative at %d after writers finished", i)
+		}
+	}
+}

@@ -58,6 +58,26 @@ type DeletableFilter interface {
 	Delete(key uint64) error
 }
 
+// GrowableFilter is a MutableFilter that never stops growing (the
+// tutorial's §2.2 "future feature"): Insert must never fail for
+// capacity reasons — the structure expands itself under live traffic
+// instead. Implementations commit to a compound false-positive budget
+// chosen at construction and report how many capacity doublings they
+// have performed, so callers can watch bits/key and FPR drift as the
+// set grows (experiment E23).
+type GrowableFilter interface {
+	MutableFilter
+	// Expansions returns the number of capacity doublings performed
+	// since construction.
+	Expansions() int
+	// FPRBudget returns the target compound false-positive rate the
+	// filter was configured to maintain across growth. How tightly the
+	// budget holds under unbounded expansion is implementation-specific
+	// (taffy-style bit donation keeps it within a small constant;
+	// InfiniFilter-style donation drifts linearly per doubling).
+	FPRBudget() float64
+}
+
 // CountingFilter represents multisets: a query returns the number of
 // times a key was inserted. Counts may overreport (by fingerprint
 // collision) with probability at most δ, but must never underreport
@@ -190,6 +210,15 @@ func LowerBoundBits(epsilon float64) float64 {
 // target false-positive rate: 1.44 * log2(1/epsilon).
 func BloomBitsPerKey(epsilon float64) float64 {
 	return math.Log2(math.E) * math.Log2(1/epsilon)
+}
+
+// BloomEpsForBits inverts BloomBitsPerKey: the false-positive rate a
+// classic Bloom filter achieves with bitsPerKey bits per key,
+// 2^(-bitsPerKey/log2(e)). Layers that historically configured filters
+// by bits/key (the LSM store) use it to derive the equivalent ε budget
+// when switching a run filter to a growable type.
+func BloomEpsForBits(bitsPerKey float64) float64 {
+	return math.Pow(2, -bitsPerKey/math.Log2(math.E))
 }
 
 // BloomOptimalK returns the optimal number of hash functions for a Bloom

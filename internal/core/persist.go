@@ -23,11 +23,15 @@ const (
 	TypeXor            uint16 = 20 // xorfilter.Filter
 	TypeSharded        uint16 = 21 // concurrent.Sharded
 	TypeBlockedChoices uint16 = 22 // bloom.BlockedChoices
+	TypeScalableBloom  uint16 = 23 // bloom.Scalable
+	TypeInfini         uint16 = 24 // infini.Filter
+	TypeTaffy          uint16 = 25 // taffy.Filter
 
 	// Application-layer kinds (not filters; decoded by their owners).
 	TypeLSMManifest   uint16 = 32 // lsm store manifest, v1 layout (pre-durability)
 	TypeLSMRun        uint16 = 33 // lsm run data file
 	TypeLSMManifestV2 uint16 = 34 // lsm store manifest with durability fields
+	TypeLSMManifestV3 uint16 = 35 // lsm store manifest with the growable-run-filter flag
 )
 
 // Persistent is a filter that can serialize its complete state to a
@@ -55,9 +59,14 @@ type Persistent interface {
 type Spec struct {
 	// Type is the filter's TypeID (which registry entry builds it).
 	Type uint16
-	// N is the design capacity in keys.
+	// N is the design capacity in keys (the initial capacity for
+	// growable filters).
 	N int
-	// BitsPerKey is the space budget for Bloom-family filters.
+	// BitsPerKey is the space budget for Bloom-family filters. Growable
+	// filter types (TypeScalableBloom, TypeTaffy) reuse this field for
+	// their target compound false-positive budget ε — the two meanings
+	// cannot collide, since a bits budget is ≥ 1 and an ε is < 1, and
+	// each filter's FromSpec validates the range it needs.
 	BitsPerKey float64
 	// FPBits is the fingerprint width for cuckoo/xor filters.
 	FPBits uint8

@@ -31,9 +31,15 @@ func runE3(cfg Config) []*metrics.Table {
 
 	qf := quotient.NewForCapacity(start, 1.0/1024)
 	qf.SetAutoExpand(true)
-	sb := bloom.NewScalable(start, 1.0/1024)
+	sb, err := bloom.NewScalable(start, 1.0/1024)
+	if err != nil {
+		panic(err) // parameters are statically valid
+	}
 	cc := cuckoo.NewChained(start, 13)
-	inf := infini.New(12)
+	inf, err := infini.New(12)
+	if err != nil {
+		panic(err) // parameters are statically valid
+	}
 	pre := bloom.New(final, 1.0/1024) // knows the future size
 
 	inserted := 0

@@ -12,8 +12,8 @@ const smallScale = 0.05
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 28 { // E1-E22 plus ablations A1-A6
-		t.Fatalf("registry has %d experiments, want 28", len(exps))
+	if len(exps) != 29 { // E1-E23 plus ablations A1-A6
+		t.Fatalf("registry has %d experiments, want 29", len(exps))
 	}
 	for i, e := range exps[:20] {
 		if e.ID != "E"+itoa(i+1) {

@@ -18,6 +18,9 @@
 package infini
 
 import (
+	"fmt"
+	"math"
+
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/hashutil"
 )
@@ -43,17 +46,36 @@ type Filter struct {
 	voids   int
 }
 
+const defaultSeed = 0x1F1F1F1F
+
 // New returns a filter with 2^q initial buckets.
-func New(q uint) *Filter {
+func New(q uint) (*Filter, error) {
 	if q < 1 || q > 40 {
-		panic("infini: q out of range")
+		return nil, fmt.Errorf("infini: q=%d outside [1, 40]", q)
 	}
 	return &Filter{
 		buckets: make([][]entry, uint64(1)<<q),
 		q:       q,
-		seed:    0x1F1F1F1F,
+		seed:    defaultSeed,
 		maxLoad: 0.9,
+	}, nil
+}
+
+// FromSpec builds an empty filter from its construction parameters:
+// Spec.Q is the initial log2 bucket count, Spec.Seed the hash seed
+// (0 selects the default).
+func FromSpec(s core.Spec) (*Filter, error) {
+	if s.Type != core.TypeInfini {
+		return nil, fmt.Errorf("infini: spec type %d is not TypeInfini", s.Type)
 	}
+	f, err := New(uint(s.Q))
+	if err != nil {
+		return nil, err
+	}
+	if s.Seed != 0 {
+		f.seed = s.Seed
+	}
+	return f, nil
 }
 
 func (f *Filter) hash(key uint64) uint64 { return hashutil.MixSeed(key, f.seed) }
@@ -157,8 +179,51 @@ func (f *Filter) expand() {
 	f.exps++
 }
 
+// ContainsBatch probes every key, writing Contains(keys[i]) into
+// out[i] (see core.BatchFilter): one pure pass hashes the chunk and
+// resolves buckets, a second stages the bucket slices so their header
+// loads overlap, then the entry scans run. It allocates nothing.
+func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	var probes [core.BatchChunk]uint64
+	var bks [core.BatchChunk][]entry
+	fpMask := hashutil.Mask(FreshBits)
+	for base := 0; base < len(keys); base += core.BatchChunk {
+		chunk := keys[base:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[base : base+len(chunk)]
+		for i, k := range chunk {
+			h := f.hash(k)
+			probes[i] = (h >> f.q) & fpMask
+			bks[i] = f.buckets[f.bucketOf(h)]
+		}
+		for i := range chunk {
+			hit := false
+			for _, e := range bks[i] {
+				if uint64(e.fp) == probes[i]&hashutil.Mask(uint(e.len)) {
+					hit = true
+					break
+				}
+			}
+			co[i] = hit
+		}
+	}
+}
+
 // Expansions returns the number of doublings so far.
 func (f *Filter) Expansions() int { return f.exps }
+
+// FPRBudget returns the filter's nominal false-positive rate at the
+// configured load: maxLoad·2^(-FreshBits) — the rate fresh entries
+// provide. Unlike taffy, InfiniFilter's realized FPR drifts upward
+// linearly with each doubling as fingerprints shorten (the trajectory
+// experiments E3 and E23 measure); the budget is the floor, not a bound
+// held across unbounded growth.
+func (f *Filter) FPRBudget() float64 {
+	return f.maxLoad * math.Pow(2, -FreshBits)
+}
 
 // Voids returns the number of void (zero-length) entries.
 func (f *Filter) Voids() int { return f.voids }
@@ -184,4 +249,8 @@ func (f *Filter) SizeBits() int {
 	return bits
 }
 
-var _ core.DeletableFilter = (*Filter)(nil)
+var (
+	_ core.DeletableFilter = (*Filter)(nil)
+	_ core.GrowableFilter  = (*Filter)(nil)
+	_ core.BatchFilter     = (*Filter)(nil)
+)

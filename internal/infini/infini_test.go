@@ -9,8 +9,17 @@ import (
 	"beyondbloom/internal/workload"
 )
 
+func mustNew(t testing.TB, q uint) *Filter {
+	t.Helper()
+	f, err := New(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 func TestNoFalseNegativesAcrossExpansions(t *testing.T) {
-	f := New(8) // 256 buckets; will expand ~8 times for 50k keys
+	f := mustNew(t, 8) // 256 buckets; will expand ~8 times for 50k keys
 	keys := workload.Keys(50000, 1)
 	for _, k := range keys {
 		if err := f.Insert(k); err != nil {
@@ -28,7 +37,7 @@ func TestNoFalseNegativesAcrossExpansions(t *testing.T) {
 func TestFPRStableAcrossExpansions(t *testing.T) {
 	// The InfiniFilter headline: FPR stays roughly flat as the filter
 	// doubles, unlike plain quotient-filter doubling.
-	f := New(10)
+	f := mustNew(t, 10)
 	neg := workload.DisjointKeys(100000, 2)
 	var rates []float64
 	keyIdx := 0
@@ -53,7 +62,7 @@ func TestFPRStableAcrossExpansions(t *testing.T) {
 }
 
 func TestDelete(t *testing.T) {
-	f := New(6)
+	f := mustNew(t, 6)
 	keys := workload.Keys(2000, 3) // forces expansions
 	for _, k := range keys {
 		f.Insert(k)
@@ -75,7 +84,7 @@ func TestVoidHandling(t *testing.T) {
 	// Tiny fresh fingerprints aren't configurable, so force voids by
 	// expanding more than FreshBits times: start at q=1 and insert
 	// enough keys that entries survive >16 doublings.
-	f := New(1)
+	f := mustNew(t, 1)
 	keys := workload.Keys(300000, 5)
 	for _, k := range keys {
 		f.Insert(k)
@@ -93,7 +102,7 @@ func TestVoidHandling(t *testing.T) {
 }
 
 func TestSizeGrowsLinearly(t *testing.T) {
-	f := New(8)
+	f := mustNew(t, 8)
 	keys := workload.Keys(100000, 7)
 	for _, k := range keys {
 		f.Insert(k)
@@ -105,7 +114,7 @@ func TestSizeGrowsLinearly(t *testing.T) {
 }
 
 func BenchmarkInsertWithExpansion(b *testing.B) {
-	f := New(8)
+	f := mustNew(b, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.Insert(uint64(i))
@@ -113,7 +122,7 @@ func BenchmarkInsertWithExpansion(b *testing.B) {
 }
 
 func BenchmarkContains(b *testing.B) {
-	f := New(8)
+	f := mustNew(b, 8)
 	for i := 0; i < 1<<20; i++ {
 		f.Insert(uint64(i))
 	}

@@ -1,0 +1,123 @@
+package infini
+
+import (
+	"io"
+
+	"beyondbloom/internal/codec"
+	"beyondbloom/internal/core"
+)
+
+func init() {
+	core.Register(core.TypeInfini, "infini",
+		func() core.Persistent { return &Filter{} },
+		func(s core.Spec) (core.Persistent, error) { return FromSpec(s) })
+}
+
+// TypeID returns the stable wire-format id (see core.Persistent).
+func (f *Filter) TypeID() uint16 { return core.TypeInfini }
+
+// WriteTo serializes the filter as one codec frame: the construction
+// Spec (initial q + seed), the growth counters, and every bucket's
+// (fingerprint, length) entries. The current table width is implied —
+// q = Spec.Q + Expansions — so growth state survives the trip.
+func (f *Filter) WriteTo(w io.Writer) (int64, error) {
+	var e codec.Enc
+	spec := core.Spec{Type: core.TypeInfini, Q: uint8(f.q - uint(f.exps)), Seed: f.seed}
+	spec.Encode(&e)
+	e.U32(uint32(f.exps))
+	e.U64(uint64(f.n))
+	e.U64(uint64(f.voids))
+	e.F64(f.maxLoad)
+	// Buckets are short (maxLoad < 1 entry/bucket on average), so counts
+	// are a byte with an escape, and fingerprints fit 16 bits by
+	// construction (FreshBits wide at most).
+	for _, bucket := range f.buckets {
+		if len(bucket) < 255 {
+			e.U8(uint8(len(bucket)))
+		} else {
+			e.U8(255)
+			e.U64(uint64(len(bucket)))
+		}
+		for _, ent := range bucket {
+			e.U16(uint16(ent.fp))
+			e.U8(ent.len)
+		}
+	}
+	return codec.WriteFrame(w, core.TypeInfini, e.Bytes())
+}
+
+// ReadFrom restores a filter written by WriteTo into the receiver,
+// revalidating every entry (length within FreshBits, fingerprint within
+// its length) and cross-checking the counters against the stored
+// buckets. On error the receiver is left unchanged.
+func (f *Filter) ReadFrom(r io.Reader) (int64, error) {
+	payload, err := codec.ReadFrame(r, core.TypeInfini)
+	if err != nil {
+		return 0, err
+	}
+	d := codec.NewDec(payload)
+	spec := core.DecodeSpec(d)
+	exps := int(d.U32())
+	n := int(d.U64())
+	voids := int(d.U64())
+	maxLoad := d.F64()
+	if d.Err() != nil {
+		return 0, d.Err()
+	}
+	nf, err := FromSpec(spec)
+	if err != nil {
+		return 0, d.Corruptf("%v", err)
+	}
+	q := uint(spec.Q) + uint(exps)
+	if q > 40 || n < 0 || voids < 0 || voids > n || !(maxLoad > 0 && maxLoad <= 1) {
+		return 0, d.Corruptf("infini: header (q0=%d exps=%d n=%d voids=%d maxLoad=%v) invalid",
+			spec.Q, exps, n, voids, maxLoad)
+	}
+	nf.q = q
+	nf.exps = exps
+	nf.maxLoad = maxLoad
+	nf.buckets = make([][]entry, uint64(1)<<q)
+	gotN, gotVoids := 0, 0
+	for b := range nf.buckets {
+		cnt := uint64(d.U8())
+		if cnt == 255 {
+			cnt = d.U64()
+		}
+		if d.Err() != nil {
+			return 0, d.Err()
+		}
+		if cnt > uint64(n-gotN) {
+			return 0, d.Corruptf("infini: bucket %d entry count %d exceeds remaining keys", b, cnt)
+		}
+		if cnt == 0 {
+			continue
+		}
+		bucket := make([]entry, cnt)
+		for i := range bucket {
+			fp := uint32(d.U16())
+			l := d.U8()
+			if l > FreshBits || uint64(fp)>>l != 0 {
+				return 0, d.Corruptf("infini: bucket %d entry %d (fp=%#x len=%d) malformed", b, i, fp, l)
+			}
+			bucket[i] = entry{fp: fp, len: l}
+			if l == 0 {
+				gotVoids++
+			}
+		}
+		nf.buckets[b] = bucket
+		gotN += int(cnt)
+	}
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	if gotN != n || gotVoids != voids {
+		return 0, d.Corruptf("infini: stored entries (n=%d voids=%d) disagree with header (n=%d voids=%d)",
+			gotN, gotVoids, n, voids)
+	}
+	nf.n = n
+	nf.voids = voids
+	*f = *nf
+	return int64(codec.HeaderSize + len(payload)), nil
+}
+
+var _ core.Persistent = (*Filter)(nil)

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"beyondbloom/internal/bloom"
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/taffy"
 )
 
 // This file is the flush/compaction engine: every function here mutates
@@ -148,6 +150,10 @@ func (s *Store) buildRun(entries []Entry, level int, sources []*run) *run {
 	}
 	switch s.opts.Policy {
 	case PolicyBloom:
+		if s.opts.GrowableFilters {
+			r.filter = growableRunFilter(core.BloomEpsForBits(s.opts.BitsPerKey), keys)
+			break
+		}
 		bf := bloom.NewBits(len(entries), s.opts.BitsPerKey)
 		for _, k := range keys {
 			bf.Insert(k)
@@ -155,6 +161,10 @@ func (s *Store) buildRun(entries []Entry, level int, sources []*run) *run {
 		r.filter = bf
 	case PolicyMonkey:
 		fpr := s.monkeyFPR(level)
+		if s.opts.GrowableFilters {
+			r.filter = growableRunFilter(fpr, keys)
+			break
+		}
 		bf := bloom.New(len(entries), fpr)
 		for _, k := range keys {
 			bf.Insert(k)
@@ -175,6 +185,27 @@ func (s *Store) buildRun(entries []Entry, level int, sources []*run) *run {
 	}
 	s.runByID[r.id] = r
 	return r
+}
+
+// growableRunFilter builds a taffy run filter with false-positive
+// budget eps (clamped to the supported range): it starts at a small
+// capacity and grows under the insert stream, so no run size needs to
+// be known — or over-provisioned — up front.
+func growableRunFilter(eps float64, keys []uint64) core.Filter {
+	if eps < taffy.MinEps {
+		eps = taffy.MinEps
+	}
+	if eps > taffy.MaxEps {
+		eps = taffy.MaxEps
+	}
+	tf, err := taffy.New(256, eps)
+	if err != nil {
+		panic(err) // unreachable: eps is clamped, capacity is constant
+	}
+	for _, k := range keys {
+		tf.Insert(k)
+	}
+	return tf
 }
 
 // monkeyFPR returns the Monkey-assigned false-positive rate for a level:

@@ -291,11 +291,12 @@ func (s *Store) Save(dir string) error {
 // encodeManifest serializes the manifest frame for a pinned snapshot.
 // durable marks WAL checkpoints: watermark is then the LSN through
 // which (view, mem) is complete, so replay applies only newer records.
-// The frame kind is TypeLSMManifestV2: the durability fields extended
-// the v1 layout mid-stream, so v2 is a distinct kind rather than a
-// silent relayout — OpenStore still decodes v1 manifests (durable
-// false, watermark zero by construction), and an image from a format
-// newer than both fails with a clear kind error instead of a
+// The frame kind is TypeLSMManifestV3: the durability fields extended
+// the v1 layout mid-stream (v2), and the growable-run-filter flag
+// extended v2 (v3) — each a distinct kind rather than a silent
+// relayout. OpenStore still decodes v1 and v2 manifests (their missing
+// fields are false/zero by construction), and an image from a format
+// newer than all three fails with a clear kind error instead of a
 // misparse.
 func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, freeIDs []uint64, durable bool, watermark uint64) ([]byte, error) {
 	var e codec.Enc
@@ -308,6 +309,7 @@ func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, fre
 	e.F64(s.opts.MonkeyBaseFPR)
 	e.U8(uint8(s.opts.Compaction))
 	e.Bool(s.opts.RangeFilter != nil)
+	e.Bool(s.opts.GrowableFilters)
 	// Device and filter counters: a reopened store resumes accounting
 	// where the saved one stopped, so experiments comparing the two see
 	// identical I/O for identical workloads.
@@ -359,7 +361,7 @@ func (s *Store) encodeManifest(v *view, mem map[uint64]Entry, nextID uint64, fre
 		}
 	}
 	var buf bytes.Buffer
-	if _, err := codec.WriteFrame(&buf, core.TypeLSMManifestV2, e.Bytes()); err != nil {
+	if _, err := codec.WriteFrame(&buf, core.TypeLSMManifestV3, e.Bytes()); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
@@ -556,15 +558,16 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	// The manifest kind doubles as the layout version: v1 (pre-WAL
-	// releases) lacks the durability fields, v2 carries them. Anything
-	// else is a foreign or future format and is rejected loudly.
+	// releases) lacks the durability fields, v2 carries them, v3 adds
+	// the growable-run-filter flag. Anything else is a foreign or future
+	// format and is rejected loudly.
 	kind, _, err := codec.PeekKind(bytes.NewReader(raw))
 	if err != nil {
 		return nil, err
 	}
-	if kind != core.TypeLSMManifest && kind != core.TypeLSMManifestV2 {
-		return nil, fmt.Errorf("%w: lsm: manifest frame kind %d, want %d (v1) or %d (v2)",
-			codec.ErrKind, kind, core.TypeLSMManifest, core.TypeLSMManifestV2)
+	if kind != core.TypeLSMManifest && kind != core.TypeLSMManifestV2 && kind != core.TypeLSMManifestV3 {
+		return nil, fmt.Errorf("%w: lsm: manifest frame kind %d, want %d (v1), %d (v2) or %d (v3)",
+			codec.ErrKind, kind, core.TypeLSMManifest, core.TypeLSMManifestV2, core.TypeLSMManifestV3)
 	}
 	payload, err := codec.ReadFrame(bytes.NewReader(raw), kind)
 	if err != nil {
@@ -578,6 +581,12 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	monkeyBaseFPR := d.F64()
 	compaction := CompactionPolicy(d.U8())
 	hadRangeFilter := d.Bool()
+	// The growable-filter flag exists only in the v3 layout; older
+	// manifests predate growable run filters, so it is false there.
+	growable := false
+	if kind == core.TypeLSMManifestV3 {
+		growable = d.Bool()
+	}
 	var counters [9]uint64
 	for i := range counters {
 		counters[i] = d.U64()
@@ -587,7 +596,7 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	// The durability fields exist only in the v2 layout; a v1 manifest
 	// is by definition a snapshot-only image.
 	durable, watermark := false, uint64(0)
-	if kind == core.TypeLSMManifestV2 {
+	if kind != core.TypeLSMManifest {
 		durable = d.Bool()
 		watermark = d.U64()
 	}
@@ -632,7 +641,7 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 
 	// Structural validation: manifest values are authoritative; caller
 	// overrides that disagree are configuration bugs, not corruption.
-	if err := checkStructural(&opts, memtableSize, sizeRatio, policy, bitsPerKey, monkeyBaseFPR, compaction); err != nil {
+	if err := checkStructural(&opts, memtableSize, sizeRatio, policy, bitsPerKey, monkeyBaseFPR, compaction, growable); err != nil {
 		return nil, err
 	}
 	if (policy == PolicyMaplet) != hasMaplet {
@@ -654,6 +663,7 @@ func OpenStore(dir string, opts Options) (*Store, error) {
 	opts.BitsPerKey = bitsPerKey
 	opts.MonkeyBaseFPR = monkeyBaseFPR
 	opts.Compaction = compaction
+	opts.GrowableFilters = growable
 	// Build the store synchronously and install the loaded state before
 	// starting any background engine, so the worker never races the load.
 	wantBackground := opts.Background
@@ -849,7 +859,7 @@ func (s *Store) WAL() *wal.Log { return s.wal }
 
 // checkStructural rejects caller-set structural options that disagree
 // with the manifest.
-func checkStructural(opts *Options, memtableSize, sizeRatio int, policy FilterPolicy, bitsPerKey, monkeyBaseFPR float64, compaction CompactionPolicy) error {
+func checkStructural(opts *Options, memtableSize, sizeRatio int, policy FilterPolicy, bitsPerKey, monkeyBaseFPR float64, compaction CompactionPolicy, growable bool) error {
 	if opts.MemtableSize != 0 && opts.MemtableSize != memtableSize {
 		return fmt.Errorf("lsm: MemtableSize %d disagrees with saved store's %d", opts.MemtableSize, memtableSize)
 	}
@@ -867,6 +877,13 @@ func checkStructural(opts *Options, memtableSize, sizeRatio int, policy FilterPo
 	}
 	if opts.Compaction != Leveling && opts.Compaction != compaction {
 		return fmt.Errorf("lsm: Compaction %d disagrees with saved store's %d", opts.Compaction, compaction)
+	}
+	// A bool override can only be checked in the set direction: a caller
+	// asking for growable filters on a fixed-filter store is a
+	// configuration bug (the saved filter files would not match), while
+	// false just means "use the manifest's value".
+	if opts.GrowableFilters && !growable {
+		return fmt.Errorf("lsm: GrowableFilters set but the saved store used fixed-capacity run filters")
 	}
 	return nil
 }

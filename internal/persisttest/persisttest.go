@@ -15,7 +15,9 @@ import (
 	"beyondbloom/internal/concurrent"
 	"beyondbloom/internal/core"
 	"beyondbloom/internal/cuckoo"
+	"beyondbloom/internal/infini"
 	"beyondbloom/internal/quotient"
+	"beyondbloom/internal/taffy"
 	"beyondbloom/internal/xorfilter"
 )
 
@@ -28,6 +30,12 @@ type Fixture struct {
 	// encoding (shards for wrappers, 1 otherwise); the SizeBits
 	// cross-check scales its header-overhead allowance by it.
 	Components int
+	// EncodedSlackBits is extra allowance for filters whose SizeBits is
+	// deliberately not a byte count of their state — infini reports the
+	// paper's packed-slot layout, while its recovery encoding stores
+	// byte-aligned (fingerprint, length) pairs. Zero for every filter
+	// whose accounting and encoding describe the same bytes.
+	EncodedSlackBits int
 }
 
 // Keys returns n deterministic pseudo-random keys (golden files and
@@ -114,6 +122,46 @@ func Fixtures(n int) ([]Fixture, error) {
 		}
 	}
 	fixtures = append(fixtures, Fixture{Name: "concurrent.Sharded", Filter: sf, Keys: keys, Components: 1 << logShards})
+
+	// The growable filters start well under n so the fixtures capture
+	// real growth state (expansion counters, stage chains, mid-table
+	// migration) rather than a filter still in its first configuration.
+	sb, err := bloom.NewScalable(n/8+1, 1.0/128)
+	if err != nil {
+		return nil, fmt.Errorf("scalable build: %w", err)
+	}
+	for _, k := range keys {
+		if err := sb.Insert(k); err != nil {
+			return nil, fmt.Errorf("scalable insert: %w", err)
+		}
+	}
+	fixtures = append(fixtures, Fixture{Name: "bloom.Scalable", Filter: sb, Keys: keys, Components: 1})
+
+	inf, err := infini.New(4)
+	if err != nil {
+		return nil, fmt.Errorf("infini build: %w", err)
+	}
+	for _, k := range keys {
+		if err := inf.Insert(k); err != nil {
+			return nil, fmt.Errorf("infini insert: %w", err)
+		}
+	}
+	// infini's SizeBits models the paper's bit-packed slot layout
+	// (~len+5 bits per entry); the byte-aligned recovery encoding costs
+	// up to ~2x that, so the cross-check gets the difference as slack.
+	fixtures = append(fixtures, Fixture{Name: "infini", Filter: inf, Keys: keys, Components: 1,
+		EncodedSlackBits: inf.SizeBits()})
+
+	tf, err := taffy.New(8, 1.0/128)
+	if err != nil {
+		return nil, fmt.Errorf("taffy build: %w", err)
+	}
+	for _, k := range keys {
+		if err := tf.Insert(k); err != nil {
+			return nil, fmt.Errorf("taffy insert: %w", err)
+		}
+	}
+	fixtures = append(fixtures, Fixture{Name: "taffy", Filter: tf, Keys: keys, Components: 1})
 
 	return fixtures, nil
 }

@@ -1,0 +1,549 @@
+// Package taffy implements an incrementally-resizing fingerprint filter
+// in the style of "Stretching Your Data With Taffy Filters" (Apple):
+// a quotient-addressed table of short fingerprints that doubles under
+// live traffic with no rebuild pause and no FPR cliff. Three mechanisms
+// combine to make that work (DESIGN.md §13):
+//
+//   - Bit donation (InfiniFilter's trick): when a bucket splits, every
+//     entry donates the lowest bit of its fingerprint to become the new
+//     address bit, so doubling needs no access to the original keys.
+//     Codes are self-delimiting — code = fp | 1<<len — so one 16-bit
+//     lane records both the fingerprint and how many bits of it remain.
+//   - Lengthening fresh fingerprints (the taffy correction to plain
+//     donation): entries inserted after e doublings get base+e-bit
+//     fingerprints. Each insertion epoch then contributes a geometric
+//     term to the compound FPR and the series converges to the budget,
+//     where constant-length donation (InfiniFilter) drifts linearly.
+//   - Incremental splitting (linear hashing with split-on-demand): a
+//     doubling is a round during which buckets split one at a time —
+//     a few per insert by a round-robin cursor, plus any unsplit bucket
+//     an insert finds full. Storage grows in fixed 16 KiB extents, so no
+//     insert ever copies the table and the insert-latency tail stays
+//     flat through growth (experiment E23 measures it).
+//
+// Buckets are 8 slots = two 64-bit words of four 16-bit lanes, scanned
+// with the internal/swar lane compares: one probe is at most
+// (maxLen-minLen+1) broadcast-XOR-HasZero16 passes over two words, with
+// no data-dependent branches inside a pass. The filter is not safe for
+// concurrent use; wrap it in concurrent.Sharded (whose per-shard locks
+// let each shard grow independently).
+package taffy
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"beyondbloom/internal/core"
+	"beyondbloom/internal/hashutil"
+	"beyondbloom/internal/swar"
+)
+
+const (
+	laneBits     = 16
+	lanesPerWord = 4
+	bucketWords  = 2
+	bucketSlots  = bucketWords * lanesPerWord
+
+	// MaxFPBits caps the fingerprint length: a code fp | 1<<len must fit
+	// one 16-bit lane, so len ≤ 15. Entries whose length would exceed the
+	// cap are clamped at insert time; entries whose length reaches zero
+	// through donation become voids (code 1, matching every probe).
+	MaxFPBits = 15
+
+	// extentLogBuckets fixes the storage grain: extents of 2^10 buckets
+	// (16 KiB) are allocated on demand and never moved or copied, so the
+	// cost of growing is bounded by one extent allocation plus the
+	// splits amortized across inserts.
+	extentLogBuckets = 10
+	extentBuckets    = 1 << extentLogBuckets
+	extentMask       = extentBuckets - 1
+
+	// loadNum is the split trigger: a round of splitting starts when
+	// n > loadNum·buckets (mean occupancy loadNum of bucketSlots).
+	// Splitting full buckets on demand keeps every bucket near the mean,
+	// so overflow beyond the 8 slots is a rare Poisson tail handled by a
+	// side map.
+	loadNum = 4
+
+	// cursorSplitsPerInsert bounds the round-robin split work one insert
+	// performs (on top of at most one on-demand split), which is what
+	// keeps expansion amortized: 2 splits/insert finishes a round of
+	// 2^q splits within 2^(q-1) inserts, well before the next round is due.
+	cursorSplitsPerInsert = 2
+
+	defaultSeed = 0x7AFF1E5EED5EED01
+
+	// MinEps is the tightest supported budget: the base fingerprint
+	// length derived from it must leave the cap some headroom to lengthen
+	// fresh fingerprints across doublings.
+	MinEps = 1.0 / 4096
+	// MaxEps is the loosest accepted budget.
+	MaxEps = 0.5
+
+	minQ = 4
+	maxQ = 40
+)
+
+// Filter is an incrementally-resizing filter over uint64 keys.
+type Filter struct {
+	spec core.Spec // Type, N (initial capacity), BitsPerKey (ε budget), Seed
+
+	// extents is the bucket store: extent k holds buckets
+	// [k·extentBuckets, (k+1)·extentBuckets), allocated on first write.
+	extents [][]uint64
+
+	q     uint // completed-rounds address width: log2 of the base bucket count
+	base  uint8
+	exps  int
+	n     int
+	voids int
+
+	// Migration state for the active round (nil bitmap when idle):
+	// bucket b of the 2^q-bucket table has split into children b and
+	// b|2^q iff bitmap bit b is set. The cursor walks the table in order
+	// splitting a couple of buckets per insert; an insert whose target
+	// bucket is full and unsplit splits it on demand, so no bucket ever
+	// overflows for a round's worth of traffic while waiting its turn.
+	bitmap   []uint64
+	migrated uint64
+	cursor   uint64
+
+	// Overflow entries (bucket full at placement time) live in a side
+	// map until their bucket next splits; probes consult it only while
+	// novf > 0. On-demand splits keep occupancy near loadNum, so this
+	// holds a fraction of a percent of entries.
+	ovf  map[uint64][]uint16
+	novf int
+
+	// lenCount tracks how many entries carry each fingerprint length;
+	// minLen..maxLen bound the patterns a probe must try.
+	lenCount [MaxFPBits + 1]int
+	minLen   uint8
+	maxLen   uint8
+}
+
+// New returns a filter with room for about initialCap keys before the
+// first doubling, maintaining the compound false-positive budget eps
+// across unbounded growth.
+func New(initialCap int, eps float64) (*Filter, error) {
+	return FromSpec(core.Spec{
+		Type:       core.TypeTaffy,
+		N:          initialCap,
+		BitsPerKey: eps,
+		Seed:       defaultSeed,
+	})
+}
+
+// FromSpec builds an empty filter from its construction parameters —
+// the code path the constructor, the registry and the decoder share.
+// Spec.N is the initial capacity, Spec.BitsPerKey carries the ε budget
+// (see core.Spec), Spec.Seed the hash seed (0 selects the default).
+func FromSpec(s core.Spec) (*Filter, error) {
+	if s.Type != core.TypeTaffy {
+		return nil, fmt.Errorf("taffy: spec type %d is not TypeTaffy", s.Type)
+	}
+	if !(s.BitsPerKey >= MinEps && s.BitsPerKey <= MaxEps) {
+		return nil, fmt.Errorf("taffy: FPR budget %v outside [%v, %v]", s.BitsPerKey, MinEps, MaxEps)
+	}
+	if s.N < 1 {
+		return nil, fmt.Errorf("taffy: initial capacity %d must be positive", s.N)
+	}
+	if s.Seed == 0 {
+		s.Seed = defaultSeed
+	}
+	q := uint(bits.Len64(uint64((s.N + loadNum - 1) / loadNum)))
+	if q < minQ {
+		q = minQ
+	}
+	if q > maxQ {
+		return nil, fmt.Errorf("taffy: initial capacity %d out of range", s.N)
+	}
+	// Fresh entries start at base bits and gain one per doubling; the
+	// +3 absorbs the ~loadNum expected entries a probed bucket compares
+	// against plus the geometric tail of older, shorter entries.
+	base := int(math.Ceil(math.Log2(1/s.BitsPerKey))) + 3
+	if base > MaxFPBits {
+		base = MaxFPBits
+	}
+	return &Filter{
+		spec:   s,
+		q:      q,
+		base:   uint8(base),
+		minLen: MaxFPBits,
+	}, nil
+}
+
+// Spec returns the filter's construction parameters.
+func (f *Filter) Spec() core.Spec { return f.spec }
+
+// freshLen is the fingerprint length assigned to entries inserted now:
+// base bits plus one per completed doubling, capped at the lane width.
+func (f *Filter) freshLen() uint {
+	l := uint(f.base) + uint(f.exps)
+	if l > MaxFPBits {
+		l = MaxFPBits
+	}
+	return l
+}
+
+// numBuckets returns the addressable bucket count (mid-round, split
+// buckets count their two children).
+func (f *Filter) numBuckets() uint64 { return uint64(1)<<f.q + f.migrated }
+
+// bucketRange returns the exclusive upper bound on bucket indices that
+// may hold entries: 2^q when idle, 2^(q+1) mid-round (migrate-on-touch
+// splits out of cursor order, so any child index can be live).
+func (f *Filter) bucketRange() uint64 {
+	if f.bitmap != nil {
+		return uint64(1) << (f.q + 1)
+	}
+	return uint64(1) << f.q
+}
+
+// bucketWordsAt reads bucket b's two words. Extents are allocated
+// lazily by the first placement into them, so a bucket no insert has
+// reached reads as empty.
+func (f *Filter) bucketWordsAt(b uint64) (uint64, uint64) {
+	k := b >> extentLogBuckets
+	if k >= uint64(len(f.extents)) || f.extents[k] == nil {
+		return 0, 0
+	}
+	off := (b & extentMask) * bucketWords
+	return f.extents[k][off], f.extents[k][off+1]
+}
+
+// ensureExtents allocates bucket storage through bucket index b.
+func (f *Filter) ensureExtents(b uint64) {
+	for uint64(len(f.extents)) <= b>>extentLogBuckets {
+		f.extents = append(f.extents, nil)
+	}
+	k := b >> extentLogBuckets
+	if f.extents[k] == nil {
+		f.extents[k] = make([]uint64, extentBuckets*bucketWords)
+	}
+}
+
+func (f *Filter) migratedBit(b uint64) bool {
+	return f.bitmap != nil && f.bitmap[b>>6]>>(b&63)&1 == 1
+}
+
+// bucketAndBits resolves the hash to the entry's current home bucket
+// and the number of address bits consumed (q, or q+1 for buckets the
+// active round has already split).
+func (f *Filter) bucketAndBits(h uint64) (uint64, uint) {
+	b := h & (uint64(1)<<f.q - 1)
+	if f.migratedBit(b) {
+		return h & (uint64(1)<<(f.q+1) - 1), f.q + 1
+	}
+	return b, f.q
+}
+
+// Insert adds key. It never fails: a filter at its load threshold
+// splits a few buckets instead (amortized growth work, bounded per
+// insert).
+func (f *Filter) Insert(key uint64) error {
+	f.grow()
+	h := hashutil.MixSeed(key, f.spec.Seed)
+	b, abits := f.bucketAndBits(h)
+	l := f.freshLen()
+	code := uint16(h>>abits&(uint64(1)<<l-1) | uint64(1)<<l)
+	if !f.tryPlace(b, code) {
+		// Split on demand: the target bucket is full, and if it has not
+		// been migrated this round, splitting it both makes room and
+		// advances the round. (Splitting only full buckets, instead of
+		// every touched one, spreads the round's splits and extent
+		// allocations evenly instead of bursting them at round start —
+		// that is what bounds the insert-latency tail in E23b.) The
+		// split may complete the round — then q has advanced and the
+		// bitmap is gone — so the address and code are recomputed after
+		// it.
+		if f.bitmap != nil {
+			if pb := h & (uint64(1)<<f.q - 1); !f.migratedBit(pb) {
+				f.splitBucket(pb)
+				b, abits = f.bucketAndBits(h)
+				code = uint16(h>>abits&(uint64(1)<<l-1) | uint64(1)<<l)
+			}
+		}
+		f.place(b, code)
+	}
+	f.n++
+	return nil
+}
+
+// place stores code in bucket b, spilling to the overflow map when all
+// eight lanes are taken, and maintains the length census.
+func (f *Filter) place(b uint64, code uint16) {
+	if f.tryPlace(b, code) {
+		return
+	}
+	if f.ovf == nil {
+		f.ovf = make(map[uint64][]uint16)
+	}
+	f.ovf[b] = append(f.ovf[b], code)
+	f.novf++
+	f.countCode(code, +1)
+}
+
+// tryPlace stores code in a free lane of bucket b and maintains the
+// length census; it reports false, leaving the filter unchanged, when
+// all eight lanes are taken.
+func (f *Filter) tryPlace(b uint64, code uint16) bool {
+	f.ensureExtents(b)
+	ext := f.extents[b>>extentLogBuckets]
+	off := (b & extentMask) * bucketWords
+	for w := uint64(0); w < bucketWords; w++ {
+		word := ext[off+w]
+		for lane := uint(0); lane < lanesPerWord; lane++ {
+			if word>>(lane*laneBits)&0xFFFF == 0 {
+				ext[off+w] = word | uint64(code)<<(lane*laneBits)
+				f.countCode(code, +1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countCode maintains lenCount and the min/max length bounds.
+func (f *Filter) countCode(code uint16, delta int) {
+	l := uint8(bits.Len16(code) - 1)
+	f.lenCount[l] += delta
+	if delta > 0 {
+		if l > f.maxLen {
+			f.maxLen = l
+		}
+		if l < f.minLen {
+			f.minLen = l
+		}
+		return
+	}
+	for f.maxLen > 0 && f.lenCount[f.maxLen] == 0 {
+		f.maxLen--
+	}
+	for f.minLen < MaxFPBits && f.lenCount[f.minLen] == 0 {
+		f.minLen++
+	}
+}
+
+// grow performs the amortized expansion work of one insert: it starts a
+// round when the load threshold is crossed and advances the active
+// round's split cursor a bounded number of buckets.
+func (f *Filter) grow() {
+	if f.bitmap == nil {
+		if uint64(f.n+1) <= loadNum*f.numBuckets() {
+			return
+		}
+		f.bitmap = make([]uint64, (uint64(1)<<f.q+63)/64)
+		f.migrated = 0
+		f.cursor = 0
+	}
+	top := uint64(1) << f.q
+	for i := 0; i < cursorSplitsPerInsert && f.bitmap != nil; i++ {
+		for f.cursor < top && f.migratedBit(f.cursor) {
+			f.cursor++
+		}
+		if f.cursor >= top {
+			break
+		}
+		f.splitBucket(f.cursor)
+	}
+}
+
+// splitBucket splits bucket b of the current round into children b and
+// b|2^q: every entry donates its lowest fingerprint bit as the new
+// address bit (code>>1 keeps the self-delimiting form), voids are
+// duplicated into both children, and any overflow entries are
+// re-placed. Completing the last split of a round commits the doubling.
+func (f *Filter) splitBucket(b uint64) {
+	top := uint64(1) << f.q
+	var codes [bucketSlots]uint16
+	nc := 0
+	if k := b >> extentLogBuckets; k < uint64(len(f.extents)) && f.extents[k] != nil {
+		ext := f.extents[k]
+		off := (b & extentMask) * bucketWords
+		for w := uint64(0); w < bucketWords; w++ {
+			word := ext[off+w]
+			ext[off+w] = 0
+			for lane := uint(0); lane < lanesPerWord; lane++ {
+				if c := uint16(word >> (lane * laneBits)); c != 0 {
+					codes[nc] = c
+					nc++
+				}
+			}
+		}
+	}
+	spill := f.ovf[b]
+	if len(spill) > 0 {
+		delete(f.ovf, b)
+		f.novf -= len(spill)
+	}
+	f.bitmap[b>>6] |= 1 << (b & 63)
+	f.migrated++
+	redistribute := func(c uint16) {
+		f.countCode(c, -1)
+		if c == 1 {
+			// A void has no bit to donate: it must answer for both
+			// children, so it is duplicated (InfiniFilter's void rule).
+			f.place(b, 1)
+			f.place(b|top, 1)
+			f.n++
+			f.voids++
+			return
+		}
+		child := b
+		if c&1 == 1 {
+			child |= top
+		}
+		nc := c >> 1
+		if nc == 1 {
+			f.voids++
+		}
+		f.place(child, nc)
+	}
+	for _, c := range codes[:nc] {
+		redistribute(c)
+	}
+	for _, c := range spill {
+		redistribute(c)
+	}
+	if f.migrated == top {
+		f.q++
+		f.exps++
+		f.bitmap = nil
+		f.migrated = 0
+		f.cursor = 0
+	}
+}
+
+// matchBucket scans one bucket's two words for any code agreeing with
+// probe at the code's own length: for each length present in the filter
+// the self-delimiting pattern probe&mask(l) | 1<<l is broadcast across
+// the four lanes and tested with one XOR + HasZero16 per word. Empty
+// lanes (code 0) can never match — every pattern has its terminator bit
+// set.
+func (f *Filter) matchBucket(w0, w1, probe uint64) bool {
+	for l := int(f.maxLen); l >= int(f.minLen); l-- {
+		if f.lenCount[l] == 0 {
+			continue
+		}
+		pat := swar.Broadcast(probe&(uint64(1)<<uint(l)-1)|uint64(1)<<uint(l), laneBits)
+		if swar.HasZero16(w0^pat)|swar.HasZero16(w1^pat) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// matchOvf is the slow-path scan of a bucket's overflow entries.
+func (f *Filter) matchOvf(b, probe uint64) bool {
+	for _, c := range f.ovf[b] {
+		l := uint(bits.Len16(c)) - 1
+		if uint64(c) == probe&(uint64(1)<<l-1)|uint64(1)<<l {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key may be present.
+func (f *Filter) Contains(key uint64) bool {
+	if f.n == 0 {
+		return false
+	}
+	h := hashutil.MixSeed(key, f.spec.Seed)
+	b, abits := f.bucketAndBits(h)
+	w0, w1 := f.bucketWordsAt(b)
+	if f.matchBucket(w0, w1, h>>abits) {
+		return true
+	}
+	if f.novf != 0 {
+		return f.matchOvf(b, h>>abits)
+	}
+	return false
+}
+
+// ContainsBatch probes every key, writing Contains(keys[i]) into
+// out[i] (see core.BatchFilter). The §6 idiom: per chunk, one pure pass
+// hashes every key and resolves its bucket, one pure pass issues both
+// bucket-word loads so their cache misses overlap, then the SWAR
+// resolve runs on the staged words. It allocates nothing.
+func (f *Filter) ContainsBatch(keys []uint64, out []bool) {
+	_ = out[:len(keys)]
+	if f.n == 0 {
+		for i := range out[:len(keys)] {
+			out[i] = false
+		}
+		return
+	}
+	var bs, probes, w0s, w1s [core.BatchChunk]uint64
+	for basei := 0; basei < len(keys); basei += core.BatchChunk {
+		chunk := keys[basei:]
+		if len(chunk) > core.BatchChunk {
+			chunk = chunk[:core.BatchChunk]
+		}
+		co := out[basei : basei+len(chunk)]
+		for i, k := range chunk {
+			h := hashutil.MixSeed(k, f.spec.Seed)
+			b, abits := f.bucketAndBits(h)
+			bs[i] = b
+			probes[i] = h >> abits
+		}
+		for i := range chunk {
+			w0s[i], w1s[i] = f.bucketWordsAt(bs[i])
+		}
+		for i := range chunk {
+			hit := f.matchBucket(w0s[i], w1s[i], probes[i])
+			if !hit && f.novf != 0 {
+				hit = f.matchOvf(bs[i], probes[i])
+			}
+			co[i] = hit
+		}
+	}
+}
+
+// Expansions returns the number of completed doublings.
+func (f *Filter) Expansions() int { return f.exps }
+
+// FPRBudget returns the compound false-positive budget ε.
+func (f *Filter) FPRBudget() float64 { return f.spec.BitsPerKey }
+
+// Len returns the number of stored entries (voids count once per
+// duplicate, like InfiniFilter).
+func (f *Filter) Len() int { return f.n }
+
+// Voids returns the number of void (zero-length) entries.
+func (f *Filter) Voids() int { return f.voids }
+
+// Overflowed returns how many entries currently live in the overflow
+// side map (diagnostic; a fraction of a percent at steady state).
+func (f *Filter) Overflowed() int { return f.novf }
+
+// Migrating reports whether a doubling round is in progress.
+func (f *Filter) Migrating() bool { return f.bitmap != nil }
+
+// LoadFactor returns entries per slot across the addressable buckets.
+func (f *Filter) LoadFactor() float64 {
+	return float64(f.n) / float64(f.numBuckets()*bucketSlots)
+}
+
+// SizeBits returns the filter's real allocated footprint: every
+// allocated storage extent (extents are committed whole, so a partially
+// used one costs its full 16 KiB — the sawtooth E23 plots), plus the
+// migration bitmap and overflow entries.
+func (f *Filter) SizeBits() int {
+	bits := 0
+	for _, ext := range f.extents {
+		bits += len(ext) * 64
+	}
+	if f.bitmap != nil {
+		bits += len(f.bitmap) * 64
+	}
+	bits += f.novf * laneBits
+	return bits
+}
+
+var (
+	_ core.GrowableFilter = (*Filter)(nil)
+	_ core.BatchFilter    = (*Filter)(nil)
+)

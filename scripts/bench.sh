@@ -5,8 +5,10 @@
 # concurrent LSM store benchmarks (-> BENCH_lsm_concurrent.json, see
 # lsm_concurrent_bench_test.go), the WAL durability ablation
 # (-> BENCH_wal.json, see exp_wal.go), the filter-service sweep
-# (-> BENCH_service.json, see exp_service.go), and the maplet-first
-# LSM read path (-> BENCH_lsm_maplet.json, see exp_lsm_maplet.go).
+# (-> BENCH_service.json, see exp_service.go), the maplet-first
+# LSM read path (-> BENCH_lsm_maplet.json, see exp_lsm_maplet.go),
+# and the growable-filter drift/pause measurement
+# (-> BENCH_growth.json, see exp_growth.go).
 # Setup builds multi-MB filters, so a full run takes a few minutes.
 #
 # Usage:
@@ -65,3 +67,8 @@ echo "== exp E22 (maplet-first LSM reads + batched maplet probes) =="
 go run ./cmd/beyondbloom exp E22 | tee "$RAW"
 python3 scripts/lsm_maplet_bench_to_json.py <"$RAW" >BENCH_lsm_maplet.json
 echo "wrote BENCH_lsm_maplet.json"
+
+echo "== exp E23 (growable filters: FPR drift + pause-free expansion) =="
+go run ./cmd/beyondbloom exp E23 | tee "$RAW"
+python3 scripts/growth_bench_to_json.py <"$RAW" >BENCH_growth.json
+echo "wrote BENCH_growth.json"

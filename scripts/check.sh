@@ -36,16 +36,20 @@ go run ./cmd/beyondbloom exp E21 -scale 0.1 | python3 scripts/service_bench_to_j
 echo "== maplet-first smoke (exp E22 -scale 0.1) =="
 go run ./cmd/beyondbloom exp E22 -scale 0.1 | python3 scripts/lsm_maplet_bench_to_json.py >/dev/null
 
+echo "== growable-filter smoke (exp E23 -scale 0.05) =="
+go run ./cmd/beyondbloom exp E23 -scale 0.05 | python3 scripts/growth_bench_to_json.py >/dev/null
+
 echo "== filterd end-to-end smoke =="
 sh scripts/filterd_smoke.sh
 
 echo "== benchmark smoke (1 iteration, -short) =="
 go test -short -run '^$' -bench 'Filter|Persist|LSMConcurrent' -benchtime 1x -benchmem . >/dev/null
 
-echo "== codec + WAL + wire fuzz burst (10s each) =="
+echo "== codec + WAL + wire + taffy fuzz burst (10s each) =="
 go test -run '^$' -fuzz FuzzFrameRoundTrip -fuzztime 10s ./internal/codec >/dev/null
 go test -run '^$' -fuzz FuzzCodecRoundTrip -fuzztime 10s ./internal/persisttest >/dev/null
 go test -run '^$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/persisttest >/dev/null
 go test -run '^$' -fuzz FuzzRequestDecode -fuzztime 10s ./internal/server >/dev/null
+go test -run '^$' -fuzz FuzzTaffy -fuzztime 10s ./internal/taffy >/dev/null
 
 echo "OK"

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Convert `beyondbloom exp E23` output into BENCH_growth.json.
+
+Reads the experiment's rendered tables on stdin and writes JSON on
+stdout:
+
+  {
+    "meta": {"experiment": "E23", "n_final": ..., "eps": ...,
+             "baseline_cap": ...},
+    "drift": [{"n", "structure", "fpr", "bits_per_key",
+               "expansions"}, ...],
+    "latency": [{"strategy", "n", "p50_us", "p99_us", "max_batch_us",
+                 "pause_ratio"}, ...],
+    "chaos": [{"writers", "readers", "expansions", "minserts_per_sec",
+               "mprobes_per_sec", "wrong_results"}, ...],
+    "acceptance": {"taffy_fpr_max", "fpr_budget_x1_5", "fpr_within_1_5x",
+                   "taffy_pause_ratio", "pause_within_10x",
+                   "wrong_results_total", "ok"}
+  }
+
+The acceptance block encodes the E23 claims: taffy's FPR stays within
+1.5x its budget at every doubling checkpoint, no insert-latency pause
+exceeds 10x the steady-state p99, and the chaos run returns zero wrong
+results. Exits 1 when any of them fails, so the smoke gates in check.sh
+and CI fail loudly instead of committing a regressed BENCH_growth.json.
+"""
+
+import json
+import re
+import sys
+
+E23_META_RE = re.compile(
+    r"E23: FPR and bits/key growing 2\^10 -> n=(\d+) "
+    r"\(eps=1/(\d+), budget_x1\.5=[\d.e+-]+, baseline_cap=(\d+)\)"
+)
+DRIFT_STRUCTURES = {"taffy", "scalable", "infini", "rebuild"}
+LAT_STRATEGIES = {"taffy", "rebuild"}
+
+
+def parse(lines):
+    meta = {"experiment": "E23", "n_final": None, "eps": None, "baseline_cap": None}
+    drift, lat, chaos = [], [], []
+    section = None
+    for line in lines:
+        m = E23_META_RE.search(line)
+        if m:
+            section = "drift"
+            meta["n_final"] = int(m.group(1))
+            meta["eps"] = 1.0 / int(m.group(2))
+            meta["baseline_cap"] = int(m.group(3))
+            continue
+        if "E23b:" in line:
+            section = "latency"
+            continue
+        if "E23c:" in line:
+            section = "chaos"
+            continue
+        fields = line.split()
+        if section == "drift" and len(fields) == 5 and fields[1] in DRIFT_STRUCTURES:
+            drift.append(
+                {
+                    "n": int(fields[0]),
+                    "structure": fields[1],
+                    "fpr": float(fields[2]),
+                    "bits_per_key": float(fields[3]),
+                    "expansions": int(fields[4]),
+                }
+            )
+        elif section == "latency" and len(fields) == 6 and fields[0] in LAT_STRATEGIES:
+            lat.append(
+                {
+                    "strategy": fields[0],
+                    "n": int(fields[1]),
+                    "p50_us": float(fields[2]),
+                    "p99_us": float(fields[3]),
+                    "max_batch_us": float(fields[4]),
+                    "pause_ratio": float(fields[5]),
+                }
+            )
+        elif section == "chaos" and len(fields) == 6 and fields[0].isdigit():
+            chaos.append(
+                {
+                    "writers": int(fields[0]),
+                    "readers": int(fields[1]),
+                    "expansions": int(fields[2]),
+                    "minserts_per_sec": float(fields[3]),
+                    "mprobes_per_sec": float(fields[4]),
+                    "wrong_results": int(fields[5]),
+                }
+            )
+    return meta, drift, lat, chaos
+
+
+def main():
+    meta, drift, lat, chaos = parse(sys.stdin)
+    if not drift or not lat or not chaos:
+        sys.exit("growth_bench_to_json: no E23 tables found on stdin")
+
+    taffy_fprs = [r["fpr"] for r in drift if r["structure"] == "taffy"]
+    budget = 1.5 * meta["eps"]
+    taffy_ratio = max(
+        (r["pause_ratio"] for r in lat if r["strategy"] == "taffy"), default=None
+    )
+    wrong = sum(r["wrong_results"] for r in chaos)
+    acceptance = {
+        "taffy_fpr_max": max(taffy_fprs),
+        "fpr_budget_x1_5": budget,
+        "fpr_within_1_5x": max(taffy_fprs) <= budget,
+        "taffy_pause_ratio": taffy_ratio,
+        "pause_within_10x": taffy_ratio is not None and taffy_ratio <= 10.0,
+        "wrong_results_total": wrong,
+    }
+    acceptance["ok"] = (
+        acceptance["fpr_within_1_5x"]
+        and acceptance["pause_within_10x"]
+        and wrong == 0
+    )
+    json.dump(
+        {
+            "meta": meta,
+            "drift": drift,
+            "latency": lat,
+            "chaos": chaos,
+            "acceptance": acceptance,
+        },
+        sys.stdout,
+        indent=2,
+    )
+    sys.stdout.write("\n")
+    if not acceptance["ok"]:
+        print("growth_bench_to_json: acceptance failed:", acceptance, file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
